@@ -1,0 +1,152 @@
+// Section 6.1: online rebuild restores clustering and space utilization.
+//
+// Workload: an index built in random key order (badly declustered) and
+// then half-emptied. We measure, before and after the rebuild, with a cold
+// cache:
+//   * leaf pages touched by full and partial range scans (the paper's
+//     "number of disk reads required to read the same number of index
+//     keys");
+//   * disk read operations during the scan;
+//   * leaf space utilization;
+//   * sequential runs of leaf pages in key order (clustering).
+
+#include "bench/bench_common.h"
+#include "btree/cursor.h"
+#include "core/rebuild.h"
+#include "util/counters.h"
+
+namespace oir::bench {
+namespace {
+
+struct ScanCost {
+  uint64_t rows = 0;
+  uint64_t pages = 0;
+  uint64_t io_ops = 0;
+};
+
+ScanCost MeasureFullScan(Db* db) {
+  ColdCache(db);
+  auto before = GlobalCounters::Get().Snapshot();
+  auto txn = db->BeginTxn();
+  Cursor cur(db->tree(), OpCtx{txn->id(), txn->ctx()});
+  ScanCost cost;
+  OIR_CHECK(cur.SeekToFirst().ok());
+  while (cur.Valid()) {
+    ++cost.rows;
+    OIR_CHECK(cur.Next().ok());
+  }
+  OIR_CHECK(db->Commit(txn.get()).ok());
+  cost.pages = cur.pages_visited();
+  cost.io_ops = (GlobalCounters::Get().Snapshot() - before).io_ops;
+  return cost;
+}
+
+ScanCost MeasureRangeScans(Db* db, const std::vector<uint64_t>& ids,
+                           int num_ranges, uint64_t range_len) {
+  ColdCache(db);
+  auto before = GlobalCounters::Get().Snapshot();
+  auto txn = db->BeginTxn();
+  ScanCost cost;
+  Random rnd(42);
+  uint64_t pages = 0;
+  for (int r = 0; r < num_ranges; ++r) {
+    Cursor cur(db->tree(), OpCtx{txn->id(), txn->ctx()});
+    uint64_t start = ids[rnd.Uniform(ids.size())];
+    OIR_CHECK(cur.Seek(BenchKey(start, 12)).ok());
+    for (uint64_t i = 0; i < range_len && cur.Valid(); ++i) {
+      ++cost.rows;
+      OIR_CHECK(cur.Next().ok());
+    }
+    pages += cur.pages_visited();
+  }
+  OIR_CHECK(db->Commit(txn.get()).ok());
+  cost.pages = pages;
+  cost.io_ops = (GlobalCounters::Get().Snapshot() - before).io_ops;
+  return cost;
+}
+
+void Report(const char* phase, const TreeStats& stats, const ScanCost& full,
+            const ScanCost& ranges) {
+  std::printf("%-10s %8llu %8.1f%% %9.3f %11llu %9llu %12llu %9llu\n", phase,
+              (unsigned long long)stats.num_leaf_pages,
+              stats.LeafUtilization() * 100,
+              static_cast<double>(stats.leaf_seq_runs) / stats.num_leaf_pages,
+              (unsigned long long)full.pages, (unsigned long long)full.io_ops,
+              (unsigned long long)ranges.pages,
+              (unsigned long long)ranges.io_ops);
+}
+
+int Main(int argc, char** argv) {
+  uint64_t n = 60000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") n = 15000;
+  }
+  auto db = OpenDb();
+  // Random insertion order -> declustered leaves.
+  std::vector<uint64_t> ids;
+  ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) ids.push_back(i * 16);
+  Random rnd(7);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rnd.Uniform(i)]);
+  }
+  {
+    auto txn = db->BeginTxn();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      OIR_CHECK(db->index()->Insert(txn.get(), BenchKey(ids[i], 12),
+                                    ids[i]).ok());
+      if (i % 4096 == 4095) {
+        OIR_CHECK(db->Commit(txn.get()).ok());
+        txn = db->BeginTxn();
+      }
+    }
+    OIR_CHECK(db->Commit(txn.get()).ok());
+  }
+  // Delete half to drop utilization.
+  {
+    auto txn = db->BeginTxn();
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      OIR_CHECK(db->index()->Delete(txn.get(), BenchKey(ids[i], 12),
+                                    ids[i]).ok());
+      if (i % 8192 == 8190) {
+        OIR_CHECK(db->Commit(txn.get()).ok());
+        txn = db->BeginTxn();
+      }
+    }
+    OIR_CHECK(db->Commit(txn.get()).ok());
+  }
+  std::vector<uint64_t> survivors;
+  for (size_t i = 1; i < ids.size(); i += 2) survivors.push_back(ids[i]);
+
+  std::printf("Clustering and utilization restoration (Section 6.1)\n\n");
+  std::printf("%-10s %8s %9s %9s %11s %9s %12s %9s\n", "phase", "leaves",
+              "util", "runs/pg", "scan-pages", "scan-ios", "range-pages",
+              "range-ios");
+
+  TreeStats stats;
+  OIR_CHECK(db->tree()->Validate(&stats).ok());
+  ScanCost full = MeasureFullScan(db.get());
+  ScanCost ranges = MeasureRangeScans(db.get(), survivors, 50, 500);
+  Report("before", stats, full, ranges);
+
+  RebuildOptions opts;
+  RebuildResult res;
+  OIR_CHECK(db->index()->RebuildOnline(opts, &res).ok());
+
+  OIR_CHECK(db->tree()->Validate(&stats).ok());
+  full = MeasureFullScan(db.get());
+  ranges = MeasureRangeScans(db.get(), survivors, 50, 500);
+  Report("after", stats, full, ranges);
+
+  std::printf("\nRebuild: %llu old pages -> %llu new pages, %llu keys, "
+              "%.1f ms CPU\n",
+              (unsigned long long)res.old_leaf_pages,
+              (unsigned long long)res.new_leaf_pages,
+              (unsigned long long)res.keys_moved, res.cpu_ns / 1e6);
+  return 0;
+}
+
+}  // namespace
+}  // namespace oir::bench
+
+int main(int argc, char** argv) { return oir::bench::Main(argc, argv); }

@@ -1,0 +1,99 @@
+#ifndef OIR_BENCH_BENCH_COMMON_H_
+#define OIR_BENCH_BENCH_COMMON_H_
+
+// Shared workload builders for the benchmark harness.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "core/index.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace oir::bench {
+
+inline std::string NumKey(uint64_t n, int width) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%0*llu", width,
+                static_cast<unsigned long long>(n));
+  return std::string(buf);
+}
+
+// Key generator: exactly `key_size` bytes, lexicographically ascending in
+// n. Small keys are big-endian binary counters; wide keys use a 12-digit
+// decimal prefix plus padding, so suffix compression produces short
+// separators (as ASE's did).
+inline std::string BenchKey(uint64_t n, int key_size) {
+  OIR_CHECK(key_size >= 1);
+  if (key_size <= 8) {
+    std::string out(key_size, '\0');
+    for (int i = key_size - 1; i >= 0; --i) {
+      out[i] = static_cast<char>(n & 0xff);
+      n >>= 8;
+    }
+    OIR_CHECK(n == 0);  // the counter must fit the key width
+    return out;
+  }
+  return NumKey(n, 12) + std::string(key_size - 12, 'p');
+}
+
+inline std::unique_ptr<Db> OpenDb(uint32_t page_size = kDefaultPageSize,
+                                  size_t pool_pages = 1 << 15) {
+  DbOptions opts;
+  opts.page_size = page_size;
+  opts.buffer_pool_pages = pool_pages;
+  std::unique_ptr<Db> db;
+  Status s = Db::Open(opts, &db);
+  OIR_CHECK(s.ok());
+  return db;
+}
+
+// Builds the paper's Table 1 workload: an index at ~50% space utilization
+// (sequential load then deletion of every other key). Keys are `key_size`
+// bytes. Returns the surviving ids.
+inline std::vector<uint64_t> BuildHalfUtilizedIndex(Db* db, uint64_t num_keys,
+                                                    int key_size) {
+  const uint64_t total = num_keys * 2;
+  {
+    auto txn = db->BeginTxn();
+    for (uint64_t i = 0; i < total; ++i) {
+      Status s = db->index()->Insert(txn.get(), BenchKey(i, key_size), i);
+      OIR_CHECK(s.ok());
+      if (i % 4096 == 4095) {
+        OIR_CHECK(db->Commit(txn.get()).ok());
+        txn = db->BeginTxn();
+      }
+    }
+    OIR_CHECK(db->Commit(txn.get()).ok());
+  }
+  {
+    auto txn = db->BeginTxn();
+    for (uint64_t i = 1; i < total; i += 2) {
+      Status s = db->index()->Delete(txn.get(), BenchKey(i, key_size), i);
+      OIR_CHECK(s.ok());
+      if (i % 8192 == 8191) {
+        OIR_CHECK(db->Commit(txn.get()).ok());
+        txn = db->BeginTxn();
+      }
+    }
+    OIR_CHECK(db->Commit(txn.get()).ok());
+  }
+  std::vector<uint64_t> survivors;
+  survivors.reserve(num_keys);
+  for (uint64_t i = 0; i < total; i += 2) survivors.push_back(i);
+  return survivors;
+}
+
+// Cold cache (Section 6.4: "the cache is cold"): everything to disk, then
+// drop the pool.
+inline void ColdCache(Db* db) {
+  OIR_CHECK(db->buffer_manager()->FlushAll().ok());
+  db->buffer_manager()->DropAll();
+}
+
+}  // namespace oir::bench
+
+#endif  // OIR_BENCH_BENCH_COMMON_H_

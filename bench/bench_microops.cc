@@ -1,0 +1,149 @@
+// Micro-benchmarks of the substrate operations (google-benchmark): point
+// inserts/lookups/deletes, cursor throughput, log appends, latch and lock
+// manager round trips, slotted page operations. These set the cost context
+// for the macro results (e.g., how much of the rebuild's CPU is latch or
+// lock-manager traffic).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "btree/cursor.h"
+#include "storage/slotted_page.h"
+#include "sync/lock_manager.h"
+#include "wal/log_manager.h"
+
+namespace oir::bench {
+namespace {
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  auto db = OpenDb();
+  auto txn = db->BeginTxn();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Status s = db->index()->Insert(txn.get(), NumKey(i, 12), i);
+    OIR_CHECK(s.ok());
+    ++i;
+  }
+  OIR_CHECK(db->Commit(txn.get()).ok());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsertSequential);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  auto db = OpenDb();
+  auto txn = db->BeginTxn();
+  Random rnd(1);
+  for (auto _ : state) {
+    uint64_t i = rnd.Next() >> 16;
+    Status s = db->index()->Insert(txn.get(), NumKey(i, 16), i);
+    OIR_CHECK(s.ok() || s.IsInvalidArgument());
+  }
+  OIR_CHECK(db->Commit(txn.get()).ok());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsertRandom);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  auto db = OpenDb();
+  constexpr uint64_t kN = 100000;
+  {
+    auto txn = db->BeginTxn();
+    for (uint64_t i = 0; i < kN; ++i) {
+      OIR_CHECK(db->index()->Insert(txn.get(), NumKey(i, 12), i).ok());
+    }
+    OIR_CHECK(db->Commit(txn.get()).ok());
+  }
+  auto txn = db->BeginTxn();
+  Random rnd(2);
+  for (auto _ : state) {
+    uint64_t i = rnd.Uniform(kN);
+    bool found;
+    OIR_CHECK(db->index()->Lookup(txn.get(), NumKey(i, 12), i, &found).ok());
+    benchmark::DoNotOptimize(found);
+  }
+  OIR_CHECK(db->Commit(txn.get()).ok());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_CursorScan(benchmark::State& state) {
+  auto db = OpenDb();
+  constexpr uint64_t kN = 100000;
+  {
+    auto txn = db->BeginTxn();
+    for (uint64_t i = 0; i < kN; ++i) {
+      OIR_CHECK(db->index()->Insert(txn.get(), NumKey(i, 12), i).ok());
+    }
+    OIR_CHECK(db->Commit(txn.get()).ok());
+  }
+  auto txn = db->BeginTxn();
+  Cursor cur(db->tree(), OpCtx{txn->id(), txn->ctx()});
+  OIR_CHECK(cur.SeekToFirst().ok());
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    if (!cur.Valid()) {
+      OIR_CHECK(cur.SeekToFirst().ok());
+    }
+    benchmark::DoNotOptimize(cur.rid());
+    OIR_CHECK(cur.Next().ok());
+    ++rows;
+  }
+  OIR_CHECK(db->Commit(txn.get()).ok());
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_CursorScan);
+
+void BM_LogAppend(benchmark::State& state) {
+  LogManager log;
+  TxnContext ctx{1, kInvalidLsn};
+  std::string row(static_cast<size_t>(state.range(0)), 'r');
+  for (auto _ : state) {
+    LogRecord rec;
+    rec.type = LogType::kInsert;
+    rec.page_id = 7;
+    rec.pos = 0;
+    rec.row = row;
+    benchmark::DoNotOptimize(log.Append(&rec, &ctx));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (row.size() + 54));
+}
+BENCHMARK(BM_LogAppend)->Arg(12)->Arg(48)->Arg(256);
+
+void BM_LatchRoundTrip(benchmark::State& state) {
+  Latch latch;
+  for (auto _ : state) {
+    latch.LockS();
+    latch.UnlockS();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatchRoundTrip);
+
+void BM_AddressLockRoundTrip(benchmark::State& state) {
+  LockManager lm;
+  for (auto _ : state) {
+    OIR_CHECK(lm.Lock(1, AddressLockKey(42), LockMode::kX, true).ok());
+    lm.Unlock(1, AddressLockKey(42));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressLockRoundTrip);
+
+void BM_SlottedPageInsertDelete(benchmark::State& state) {
+  std::vector<char> buf(kDefaultPageSize, 0);
+  SlottedPage page(buf.data(), kDefaultPageSize);
+  page.Init(1, kLeafLevel);
+  std::string row(24, 'x');
+  for (auto _ : state) {
+    OIR_CHECK(page.InsertAt(page.nslots() / 2, Slice(row)));
+    page.DeleteAt(page.nslots() / 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlottedPageInsertDelete);
+
+}  // namespace
+}  // namespace oir::bench
+
+BENCHMARK_MAIN();

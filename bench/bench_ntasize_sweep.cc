@@ -1,0 +1,72 @@
+// Section 6.4 sweep: log space, CPU time, level-1 page visits and
+// lock/latch-manager calls as functions of ntasize — the study behind the
+// paper's choice of ntasize = 32. Includes the Section 5.5 level-1
+// reorganization ablation.
+//
+// Implemented with google-benchmark so per-configuration timings come with
+// proper repetition handling; the per-run counters are attached to each
+// benchmark as user counters.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/rebuild.h"
+#include "util/counters.h"
+
+namespace oir::bench {
+namespace {
+
+constexpr uint64_t kNumKeys = 40000;
+
+void BM_RebuildAtNtasize(benchmark::State& state) {
+  const uint32_t ntasize = static_cast<uint32_t>(state.range(0));
+  const bool reorg = state.range(1) != 0;
+  RebuildResult last{};
+  TreeStats after{};
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = OpenDb();
+    BuildHalfUtilizedIndex(db.get(), kNumKeys, 12);
+    ColdCache(db.get());
+    auto before = GlobalCounters::Get().Snapshot();
+    state.ResumeTiming();
+
+    RebuildOptions opts;
+    opts.ntasize = ntasize;
+    opts.xactsize = std::max<uint32_t>(256, ntasize);
+    opts.reorganize_level1 = reorg;
+    Status s = db->index()->RebuildOnline(opts, &last);
+    OIR_CHECK(s.ok());
+
+    state.PauseTiming();
+    auto delta = GlobalCounters::Get().Snapshot() - before;
+    OIR_CHECK(db->tree()->Validate(&after).ok());
+    state.counters["log_bytes"] = static_cast<double>(last.log_bytes);
+    state.counters["log_records"] = static_cast<double>(last.log_records);
+    state.counters["cpu_ms"] = last.cpu_ns / 1e6;
+    state.counters["level1_visits"] =
+        static_cast<double>(last.level1_visits);
+    state.counters["lock_calls"] = static_cast<double>(delta.lock_requests);
+    state.counters["latch_calls"] = static_cast<double>(delta.latch_acquires);
+    state.counters["top_actions"] = static_cast<double>(last.top_actions);
+    state.counters["nonleaf_pages"] =
+        static_cast<double>(after.num_nonleaf_pages);
+    state.ResumeTiming();
+  }
+}
+
+BENCHMARK(BM_RebuildAtNtasize)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64, 128}, {1}})
+    ->ArgNames({"ntasize", "reorg"})
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: Section 5.5 level-1 reorganization off.
+BENCHMARK(BM_RebuildAtNtasize)
+    ->ArgsProduct({{32}, {0}})
+    ->ArgNames({"ntasize", "reorg"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oir::bench
+
+BENCHMARK_MAIN();

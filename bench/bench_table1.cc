@@ -1,0 +1,143 @@
+// Reproduction of Table 1 (Section 6.4): log space and CPU time of the
+// online rebuild as a function of ntasize, for a small-key and a wide-key
+// index.
+//
+//   Lratio = log space at ntasize 1 / log space at the given ntasize
+//   Cratio = CPU time  at ntasize 1 / CPU time  at the given ntasize
+//
+// Paper (2 KB pages, ~50% utilized index, fillfactor 100, cold cache):
+//   key 4 B  (avg non-leaf row 10 B): ntasize 32 -> L 7.3, C 2.4
+//                                     ntasize 64 -> L 8.0, C 2.4
+//   key 40 B (avg non-leaf row 20 B): ntasize 32 -> L 4.9, C 3.7
+//                                     ntasize 64 -> L 5.4, C 4.0
+//
+// The absolute numbers depend on the host and the exact per-record log
+// overhead; the shape to check is (a) large Lratios that are bigger for
+// small keys, (b) Cratios well above 1 that flatten out past ~32.
+//
+// The --ablate flag additionally reports the log_full_keys ablation (key
+// bytes logged instead of position-only keycopy records).
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "core/rebuild.h"
+
+namespace oir::bench {
+namespace {
+
+struct Row {
+  int key_size;
+  uint32_t ntasize;
+  uint64_t log_bytes;
+  uint64_t cpu_ns;
+  uint64_t old_pages;
+  uint64_t new_pages;
+  double nonleaf_row;
+};
+
+Row RunOne(int key_size, uint64_t num_keys, uint32_t ntasize,
+           bool log_full_keys) {
+  auto db = OpenDb();
+  BuildHalfUtilizedIndex(db.get(), num_keys, key_size);
+  TreeStats before;
+  OIR_CHECK(db->tree()->Validate(&before).ok());
+  ColdCache(db.get());
+
+  RebuildOptions opts;
+  opts.ntasize = ntasize;
+  opts.xactsize = std::max<uint32_t>(256, ntasize);
+  opts.fillfactor = 100;
+  opts.io_pages = 8;  // 16 KB buffers over 2 KB pages (Section 6.4 setup)
+  opts.log_full_keys = log_full_keys;
+  RebuildResult res;
+  Status s = db->index()->RebuildOnline(opts, &res);
+  OIR_CHECK(s.ok());
+
+  TreeStats after;
+  OIR_CHECK(db->tree()->Validate(&after).ok());
+  OIR_CHECK(after.num_keys == before.num_keys);
+
+  Row row;
+  row.key_size = key_size;
+  row.ntasize = ntasize;
+  row.log_bytes = res.log_bytes;
+  row.cpu_ns = res.cpu_ns;
+  row.old_pages = res.old_leaf_pages;
+  row.new_pages = res.new_leaf_pages;
+  row.nonleaf_row = after.AvgNonLeafRowBytes();
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  bool ablate = false;
+  uint64_t num_keys_small = 120000;  // ~2850 half-full 2 KB leaf pages
+  uint64_t num_keys_wide = 60000;    // ~3150 half-full leaf pages (52 B rows)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablate") == 0) ablate = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      num_keys_small = 30000;
+      num_keys_wide = 15000;
+    }
+  }
+
+  std::printf("Table 1 reproduction: Lratio / Cratio vs ntasize\n");
+  std::printf("(2 KB pages, ~50%% utilized index, fillfactor 100, cold "
+              "cache, 16 KB I/O)\n\n");
+  std::printf("%-8s %-12s %-8s %12s %10s %8s %8s %8s\n", "keysz",
+              "avg-nl-row", "ntasize", "log-bytes", "cpu-ms", "Lratio",
+              "Cratio", "pages");
+
+  const uint32_t kNtasizes[] = {1, 2, 4, 8, 16, 32, 64};
+  for (int key_size : {4, 40}) {
+    uint64_t num_keys = key_size == 4 ? num_keys_small : num_keys_wide;
+    uint64_t base_log = 0;
+    uint64_t base_cpu = 0;
+    for (uint32_t nta : kNtasizes) {
+      Row r = RunOne(key_size, num_keys, nta, /*log_full_keys=*/false);
+      if (nta == 1) {
+        base_log = r.log_bytes;
+        base_cpu = r.cpu_ns;
+      }
+      std::printf("%-8d %-12.1f %-8u %12llu %10.1f %8.2f %8.2f %8llu\n",
+                  key_size, r.nonleaf_row, nta,
+                  (unsigned long long)r.log_bytes, r.cpu_ns / 1e6,
+                  base_log == 0 ? 0.0
+                                : static_cast<double>(base_log) / r.log_bytes,
+                  base_cpu == 0 ? 0.0
+                                : static_cast<double>(base_cpu) / r.cpu_ns,
+                  (unsigned long long)r.old_pages);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Paper's Table 1 for comparison:\n");
+  std::printf("  key  4, nta 32: Lratio 7.3, Cratio 2.4\n");
+  std::printf("  key  4, nta 64: Lratio 8.0, Cratio 2.4\n");
+  std::printf("  key 40, nta 32: Lratio 4.9, Cratio 3.7\n");
+  std::printf("  key 40, nta 64: Lratio 5.4, Cratio 4.0\n\n");
+
+  if (ablate) {
+    std::printf("Ablation: minimal (position-only keycopy) logging vs "
+                "logging full keys (Section 3 design choice)\n");
+    std::printf("%-8s %-8s %16s %16s %8s\n", "keysz", "ntasize",
+                "keycopy-bytes", "fullkey-bytes", "ratio");
+    for (int key_size : {4, 40}) {
+      uint64_t num_keys = (key_size == 4 ? num_keys_small : num_keys_wide);
+      for (uint32_t nta : {1u, 32u}) {
+        Row a = RunOne(key_size, num_keys, nta, false);
+        Row b = RunOne(key_size, num_keys, nta, true);
+        std::printf("%-8d %-8u %16llu %16llu %8.2f\n", key_size, nta,
+                    (unsigned long long)a.log_bytes,
+                    (unsigned long long)b.log_bytes,
+                    static_cast<double>(b.log_bytes) / a.log_bytes);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace oir::bench
+
+int main(int argc, char** argv) { return oir::bench::Main(argc, argv); }

@@ -1,0 +1,121 @@
+#include "btree/cursor.h"
+
+#include "util/logging.h"
+
+namespace oir {
+
+void Cursor::Capture(const SlottedPage& sp, const PageRef& page, SlotId pos) {
+  current_ = sp.Get(pos).ToString();
+  page_ = page.id();
+  page_lsn_ = page.header()->page_lsn;
+  pos_ = pos;
+  valid_ = true;
+  if (page_ != last_counted_page_) {
+    ++pages_visited_;
+    last_counted_page_ = page_;
+  }
+}
+
+Status Cursor::Seek(const Slice& user_key) {
+  std::string composite = MakeIndexKey(user_key, 0);
+  return SeekComposite(Slice(composite), /*exclusive=*/false);
+}
+
+Status Cursor::SeekToFirst() {
+  return SeekComposite(Slice(), /*exclusive=*/false);
+}
+
+Status Cursor::SeekComposite(const Slice& composite, bool exclusive) {
+  valid_ = false;
+  BTree::Path path;
+  for (;;) {
+    PageRef leaf;
+    OIR_RETURN_IF_ERROR(tree_->Traverse(op_, composite, /*writer=*/false,
+                                        kLeafLevel, &leaf, &path));
+    // Walk right until a qualifying row is found (handles empty leaves and
+    // keys that migrated right through a concurrent split).
+    for (;;) {
+      SlottedPage sp(leaf.data(), tree_->bm_->page_size());
+      SlotId pos = node::LeafLowerBound(sp, composite);
+      if (exclusive && pos < sp.nslots() && sp.Get(pos) == composite) {
+        ++pos;
+      }
+      if (pos < sp.nslots()) {
+        Capture(sp, leaf, pos);
+        leaf.latch().UnlockS();
+        return Status::OK();
+      }
+      PageId next = leaf.header()->next_page;
+      if (next == kInvalidPageId) {
+        leaf.latch().UnlockS();
+        return Status::OK();  // end of index; cursor invalid
+      }
+      PageRef nref;
+      OIR_RETURN_IF_ERROR(tree_->bm_->Fetch(next, &nref));
+      nref.latch().LockS();
+      if ((nref.header()->flags & kFlagShrink) != 0) {
+        nref.latch().UnlockS();
+        nref.Release();
+        leaf.latch().UnlockS();
+        leaf.Release();
+        OIR_RETURN_IF_ERROR(tree_->locks_->LockInstant(
+            op_.id, AddressLockKey(next), LockMode::kS,
+            /*conditional=*/false));
+        break;  // retraverse
+      }
+      leaf.latch().UnlockS();
+      leaf = std::move(nref);
+    }
+  }
+}
+
+Status Cursor::Next() {
+  OIR_CHECK(valid_);
+  // Fast path: the page is unchanged since we last looked at it.
+  if (tree_->space_->GetState(page_) == PageState::kAllocated) {
+    PageRef leaf;
+    if (tree_->bm_->Fetch(page_, &leaf).ok()) {
+      leaf.latch().LockS();
+      const PageHeader* h = leaf.header();
+      if (h->page_id == page_ && h->level == kLeafLevel &&
+          (h->flags & kFlagShrink) == 0 && h->page_lsn == page_lsn_) {
+        SlottedPage sp(leaf.data(), tree_->bm_->page_size());
+        if (pos_ + 1 < sp.nslots()) {
+          Capture(sp, leaf, static_cast<SlotId>(pos_ + 1));
+          leaf.latch().UnlockS();
+          return Status::OK();
+        }
+        // Cross to the next leaf in the chain.
+        PageId next = h->next_page;
+        if (next == kInvalidPageId) {
+          leaf.latch().UnlockS();
+          valid_ = false;
+          return Status::OK();
+        }
+        PageRef nref;
+        Status fs = tree_->bm_->Fetch(next, &nref);
+        if (fs.ok()) {
+          nref.latch().LockS();
+          if ((nref.header()->flags & kFlagShrink) == 0 &&
+              nref.header()->level == kLeafLevel) {
+            SlottedPage nsp(nref.data(), tree_->bm_->page_size());
+            if (nsp.nslots() > 0) {
+              Capture(nsp, nref, 0);
+              nref.latch().UnlockS();
+              leaf.latch().UnlockS();
+              return Status::OK();
+            }
+          }
+          nref.latch().UnlockS();
+        }
+      }
+      leaf.latch().UnlockS();
+    }
+  }
+  // Slow path: the page changed, was shrunk or was rebuilt away —
+  // reposition by key (Section 2.6.1 retraversal, cursor flavor).
+  std::string cur = current_;
+  return SeekComposite(Slice(cur), /*exclusive=*/true);
+}
+
+}  // namespace oir

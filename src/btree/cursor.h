@@ -1,0 +1,67 @@
+#ifndef OIR_BTREE_CURSOR_H_
+#define OIR_BTREE_CURSOR_H_
+
+// Range-scan cursor (Section 2.5). The scan qualifies rows under an S
+// latch, releases the latch before returning a row to the caller, and
+// re-latches to resume — so it never blocks writers while the application
+// consumes rows. On resume, if the page changed (pageLSN differs), was
+// shrunk, rebuilt away or freed, the cursor repositions itself by key.
+//
+// Isolation: read committed. The cursor takes no logical locks itself;
+// callers wanting stronger isolation lock the returned ROWIDs through the
+// transaction manager (as the paper's scan does "depending on the
+// isolation level").
+
+#include <string>
+
+#include "btree/btree.h"
+
+namespace oir {
+
+class Cursor {
+ public:
+  // `op.ctx` may be null: scans write no log records; op.id is used for
+  // instant-duration lock waits on SHRINK-marked pages.
+  Cursor(BTree* tree, OpCtx op) : tree_(tree), op_(op) {}
+
+  // Positions at the first row with user key >= `user_key` (rid 0).
+  Status Seek(const Slice& user_key);
+  // Positions at the first row of the index.
+  Status SeekToFirst();
+
+  bool Valid() const { return valid_; }
+
+  // Accessors for the current row (valid until the next cursor call).
+  Slice index_key() const { return Slice(current_); }
+  Slice user_key() const { return UserKeyOf(Slice(current_)); }
+  RowId rid() const { return RowIdOf(Slice(current_)); }
+
+  // Advances to the next row in key order.
+  Status Next();
+
+  // Number of distinct leaf pages this cursor has latched since creation
+  // (a proxy for the disk reads of a range scan; Section 6.1).
+  uint64_t pages_visited() const { return pages_visited_; }
+
+ private:
+  // Positions at the first row with composite key >= `composite`
+  // (`exclusive` = strictly greater).
+  Status SeekComposite(const Slice& composite, bool exclusive);
+
+  // Captures row `pos` of the latched page as the current row.
+  void Capture(const SlottedPage& sp, const PageRef& page, SlotId pos);
+
+  BTree* const tree_;
+  OpCtx op_;
+  bool valid_ = false;
+  std::string current_;
+  PageId page_ = kInvalidPageId;
+  Lsn page_lsn_ = kInvalidLsn;
+  SlotId pos_ = 0;
+  PageId last_counted_page_ = kInvalidPageId;
+  uint64_t pages_visited_ = 0;
+};
+
+}  // namespace oir
+
+#endif  // OIR_BTREE_CURSOR_H_

@@ -1,0 +1,90 @@
+#include "btree/node.h"
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace oir::node {
+
+std::string MakeNonLeafRow(PageId child, const Slice& separator) {
+  std::string row;
+  row.reserve(sizeof(PageId) + separator.size());
+  char buf[sizeof(PageId)];
+  EncodeFixed32(buf, child);
+  row.append(buf, sizeof(buf));
+  row.append(separator.data(), separator.size());
+  return row;
+}
+
+PageId ChildOf(const Slice& nonleaf_row) {
+  OIR_DCHECK(nonleaf_row.size() >= sizeof(PageId));
+  return DecodeFixed32(nonleaf_row.data());
+}
+
+Slice SeparatorOf(const Slice& nonleaf_row) {
+  OIR_DCHECK(nonleaf_row.size() >= sizeof(PageId));
+  return Slice(nonleaf_row.data() + sizeof(PageId),
+               nonleaf_row.size() - sizeof(PageId));
+}
+
+SlotId LeafLowerBound(const SlottedPage& page, const Slice& key) {
+  uint16_t lo = 0;
+  uint16_t hi = page.nslots();
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (page.Get(mid).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool LeafFind(const SlottedPage& page, const Slice& key, SlotId* pos) {
+  SlotId p = LeafLowerBound(page, key);
+  if (p < page.nslots() && page.Get(p) == key) {
+    *pos = p;
+    return true;
+  }
+  return false;
+}
+
+SlotId FindChildIdx(const SlottedPage& page, const Slice& key) {
+  OIR_DCHECK(page.nslots() >= 1);
+  // Binary search rows [1, n) for the first separator > key; the child to
+  // follow is at that position minus one.
+  uint16_t lo = 1;
+  uint16_t hi = page.nslots();
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (SeparatorOf(page.Get(mid)).compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+SlotId FindEntryInsertPos(const SlottedPage& page, const Slice& sep) {
+  uint16_t lo = 1;
+  uint16_t hi = page.nslots();
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (SeparatorOf(page.Get(mid)).compare(sep) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int FindChildPos(const SlottedPage& page, PageId child) {
+  for (SlotId i = 0; i < page.nslots(); ++i) {
+    if (ChildOf(page.Get(i)) == child) return i;
+  }
+  return -1;
+}
+
+}  // namespace oir::node

@@ -1,0 +1,46 @@
+#ifndef OIR_BTREE_NODE_H_
+#define OIR_BTREE_NODE_H_
+
+// Row-level operations on B+-tree pages, layered over SlottedPage. Leaf
+// rows are composite index keys; non-leaf rows are [child:4][separator].
+// These helpers do searching and encoding only — latching and logging are
+// the tree's job.
+
+#include <string>
+
+#include "storage/slotted_page.h"
+#include "util/slice.h"
+#include "util/types.h"
+
+namespace oir::node {
+
+// ---- non-leaf row codec ----
+
+std::string MakeNonLeafRow(PageId child, const Slice& separator);
+PageId ChildOf(const Slice& nonleaf_row);
+Slice SeparatorOf(const Slice& nonleaf_row);
+
+// ---- leaf searches ----
+
+// First position with row >= key (== nslots if all rows are smaller).
+SlotId LeafLowerBound(const SlottedPage& page, const Slice& key);
+
+// Exact match lookup. Returns true and sets *pos if found.
+bool LeafFind(const SlottedPage& page, const Slice& key, SlotId* pos);
+
+// ---- non-leaf searches ----
+
+// Index of the child to follow for `key`: the largest i such that i == 0 or
+// Separator_i <= key. Page must have at least one row.
+SlotId FindChildIdx(const SlottedPage& page, const Slice& key);
+
+// Position at which a new entry [sep, child] belongs: the first position
+// p >= 1 whose separator is > sep (== nslots if none).
+SlotId FindEntryInsertPos(const SlottedPage& page, const Slice& sep);
+
+// Position of the entry whose child pointer equals `child`, or -1.
+int FindChildPos(const SlottedPage& page, PageId child);
+
+}  // namespace oir::node
+
+#endif  // OIR_BTREE_NODE_H_

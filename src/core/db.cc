@@ -1,0 +1,177 @@
+#include "core/db.h"
+
+#include <cstdio>
+
+#include "core/index.h"
+
+namespace oir {
+
+Db::Db(const DbOptions& options) : options_(options) {}
+
+Db::~Db() = default;
+
+namespace {
+
+// Constructs the component stack shared by Open and OpenExisting.
+Status BuildStack(const DbOptions& options, bool truncate_files, Db* db,
+                  std::unique_ptr<Disk>* disk, std::unique_ptr<LogManager>* log) {
+  if (options.use_file_disk) {
+    if (truncate_files) std::remove(options.file_path.c_str());
+    std::unique_ptr<FileDisk> fd;
+    OIR_RETURN_IF_ERROR(
+        FileDisk::Open(options.file_path, options.page_size, &fd));
+    OIR_RETURN_IF_ERROR(fd->Extend(options.initial_disk_pages));
+    *disk = std::move(fd);
+  } else {
+    *disk = std::make_unique<MemDisk>(options.page_size,
+                                      options.initial_disk_pages);
+  }
+  if (!options.log_path.empty()) {
+    OIR_RETURN_IF_ERROR(
+        LogManager::Open(options.log_path, truncate_files, log));
+  } else {
+    *log = std::make_unique<LogManager>();
+  }
+  (void)db;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Db::Open(const DbOptions& options, std::unique_ptr<Db>* out) {
+  std::unique_ptr<Db> db(new Db(options));
+  OIR_RETURN_IF_ERROR(
+      BuildStack(options, /*truncate_files=*/true, db.get(), &db->disk_,
+                 &db->log_));
+  db->bm_ = std::make_unique<BufferManager>(db->disk_.get(),
+                                            options.buffer_pool_pages);
+  db->bm_->SetLogFlusher(db->log_.get());
+  db->locks_ = std::make_unique<LockManager>();
+  db->space_ = std::make_unique<SpaceManager>(db->disk_.get(), db->log_.get(),
+                                              kFirstDataPageId);
+  db->txn_mgr_ = std::make_unique<TransactionManager>(
+      db->log_.get(), db->locks_.get(), db->bm_.get(), db->space_.get());
+  db->tree_ = std::make_unique<BTree>(db->bm_.get(), db->log_.get(),
+                                      db->locks_.get(), db->space_.get());
+  db->txn_mgr_->SetUndoHook(db->tree_.get());
+  db->index_ = std::make_unique<Index>(db->tree_.get(), db->txn_mgr_.get(),
+                                       db->bm_.get(), db->log_.get(),
+                                       db->locks_.get(), db->space_.get());
+
+  // Bootstrap: create the empty index inside a committed transaction so
+  // that recovery can always replay the database from an empty log.
+  std::unique_ptr<Transaction> boot = db->txn_mgr_->Begin();
+  OIR_RETURN_IF_ERROR(db->tree_->CreateNew(boot->ctx()));
+  OIR_RETURN_IF_ERROR(db->txn_mgr_->Commit(boot.get()));
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
+                        RecoveryStats* stats) {
+  if (!options.use_file_disk || options.file_path.empty() ||
+      options.log_path.empty()) {
+    return Status::InvalidArgument(
+        "OpenExisting requires use_file_disk, file_path and log_path");
+  }
+  std::unique_ptr<Db> db(new Db(options));
+  OIR_RETURN_IF_ERROR(
+      BuildStack(options, /*truncate_files=*/false, db.get(), &db->disk_,
+                 &db->log_));
+  db->bm_ = std::make_unique<BufferManager>(db->disk_.get(),
+                                            options.buffer_pool_pages);
+  db->bm_->SetLogFlusher(db->log_.get());
+  db->locks_ = std::make_unique<LockManager>();
+  db->space_ = std::make_unique<SpaceManager>(db->disk_.get(), db->log_.get(),
+                                              kFirstDataPageId);
+  db->txn_mgr_ = std::make_unique<TransactionManager>(
+      db->log_.get(), db->locks_.get(), db->bm_.get(), db->space_.get());
+  db->tree_ = std::make_unique<BTree>(db->bm_.get(), db->log_.get(),
+                                      db->locks_.get(), db->space_.get());
+  db->txn_mgr_->SetUndoHook(db->tree_.get());
+  db->index_ = std::make_unique<Index>(db->tree_.get(), db->txn_mgr_.get(),
+                                       db->bm_.get(), db->log_.get(),
+                                       db->locks_.get(), db->space_.get());
+
+  // Restart recovery over the persisted log and data file.
+  RecoveryStats local;
+  RecoveryStats* st = stats != nullptr ? stats : &local;
+  ApplyContext ctx{db->bm_.get(), db->space_.get(), db->log_.get()};
+  RecoveryManager rm(ctx);
+  OIR_RETURN_IF_ERROR(rm.AnalyzeAndRedo(st));
+  OIR_RETURN_IF_ERROR(db->tree_->Open());
+  OIR_RETURN_IF_ERROR(rm.UndoLosers(db->tree_.get(), st));
+  OIR_RETURN_IF_ERROR(rm.Finish(st));
+  db->txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
+  *out = std::move(db);
+  return Status::OK();
+}
+
+Status Db::Checkpoint(Lsn* truncation_horizon) {
+  // Fuzzy checkpoint. Order matters:
+  //  1. capture scan_start = current log tail; recovery will rescan
+  //     everything from here, so state changes racing with the snapshot
+  //     below are replayed idempotently;
+  //  2. snapshot the page states and the active transactions;
+  //  3. append the checkpoint record;
+  //  4. flush every dirty page (covers all updates before scan_start);
+  //  5. force the log and publish the master record.
+  const Lsn scan_start = log_->tail_lsn();
+
+  LogRecord ckpt;
+  ckpt.type = LogType::kCheckpoint;
+  ckpt.old_page_lsn = scan_start;  // reused field: recovery scan start
+  ckpt.ckpt_allocated = space_->PagesInState(PageState::kAllocated);
+  ckpt.ckpt_deallocated = space_->PagesInState(PageState::kDeallocated);
+  ckpt.ckpt_end_page = space_->end_page();
+  ckpt.ckpt_next_txn_id = txn_mgr_->next_txn_id();
+  Lsn oldest_begin = kInvalidLsn;
+  txn_mgr_->SnapshotActive(&ckpt.ckpt_txns, &oldest_begin);
+  Lsn ckpt_lsn = log_->AppendSystem(&ckpt);
+
+  OIR_RETURN_IF_ERROR(bm_->FlushAll());
+  OIR_RETURN_IF_ERROR(log_->FlushAll());
+  log_->SetMasterCheckpoint(ckpt_lsn);
+
+  if (truncation_horizon != nullptr) {
+    // The log before min(scan_start, oldest active begin) is dead: redo
+    // starts at scan_start and every active transaction's undo chain
+    // reaches back at most to its begin record.
+    Lsn horizon = scan_start;
+    if (oldest_begin != kInvalidLsn && oldest_begin < horizon) {
+      horizon = oldest_begin;
+    }
+    *truncation_horizon = horizon;
+  }
+  return Status::OK();
+}
+
+Status Db::CheckpointAndTruncate() {
+  Lsn horizon = kInvalidLsn;
+  OIR_RETURN_IF_ERROR(Checkpoint(&horizon));
+  if (horizon != kInvalidLsn) {
+    log_->DiscardPrefix(horizon);
+  }
+  return Status::OK();
+}
+
+Status Db::CrashAndRecover(RecoveryStats* stats) {
+  // Crash: volatile state dies. Dirty pages and unflushed log records are
+  // lost; locks, side entries and in-flight transactions evaporate.
+  bm_->DropAll();
+  log_->SimulateCrash();
+  locks_->Reset();
+  tree_->ResetTransient();
+
+  // Restart.
+  ApplyContext ctx{bm_.get(), space_.get(), log_.get()};
+  RecoveryManager rm(ctx);
+  OIR_RETURN_IF_ERROR(rm.AnalyzeAndRedo(stats));
+  OIR_RETURN_IF_ERROR(tree_->Open());
+  OIR_RETURN_IF_ERROR(rm.UndoLosers(tree_.get(), stats));
+  OIR_RETURN_IF_ERROR(rm.Finish(stats));
+  txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
+  return Status::OK();
+}
+
+}  // namespace oir

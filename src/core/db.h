@@ -1,0 +1,83 @@
+#ifndef OIR_CORE_DB_H_
+#define OIR_CORE_DB_H_
+
+// Database environment facade: wires the disk, buffer manager, log,
+// lock manager, space manager, transaction manager and the B+-tree
+// together, and drives crash simulation + restart recovery.
+
+#include <memory>
+
+#include "btree/btree.h"
+#include "core/options.h"
+#include "recovery/recovery.h"
+#include "txn/transaction_manager.h"
+
+namespace oir {
+
+class Index;
+
+class Db {
+ public:
+  // Creates a fresh database (bootstraps an empty index). Existing files
+  // at options.file_path / options.log_path are truncated.
+  static Status Open(const DbOptions& options, std::unique_ptr<Db>* out);
+
+  // Opens a database persisted by a previous process: requires
+  // use_file_disk + file_path + log_path. Runs full restart recovery
+  // (redo from the last checkpoint, undo of in-flight transactions) before
+  // returning. `stats` may be null.
+  static Status OpenExisting(const DbOptions& options,
+                             std::unique_ptr<Db>* out,
+                             RecoveryStats* stats = nullptr);
+  ~Db();
+
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  std::unique_ptr<Transaction> BeginTxn() { return txn_mgr_->Begin(); }
+  Status Commit(Transaction* txn) { return txn_mgr_->Commit(txn); }
+  Status Abort(Transaction* txn) { return txn_mgr_->Abort(txn); }
+
+  // Simulates a crash (all non-durable state is discarded) followed by
+  // restart recovery: analysis/redo, logical undo of losers, freeing of
+  // still-deallocated pages, bit cleanup.
+  Status CrashAndRecover(RecoveryStats* stats);
+
+  // Takes a fuzzy checkpoint: snapshots the space manager's page states
+  // and the active-transaction table into a kCheckpoint record, flushes
+  // every dirty page, forces the log and publishes the master record.
+  // After it completes, restart recovery scans from the checkpoint instead
+  // of the log head. Returns (optionally) the LSN below which the log is
+  // no longer needed.
+  Status Checkpoint(Lsn* truncation_horizon = nullptr);
+
+  // Takes a checkpoint and then reclaims the no-longer-needed log prefix.
+  Status CheckpointAndTruncate();
+
+  Index* index() { return index_.get(); }
+  BTree* tree() { return tree_.get(); }
+  TransactionManager* txn_manager() { return txn_mgr_.get(); }
+  BufferManager* buffer_manager() { return bm_.get(); }
+  LogManager* log_manager() { return log_.get(); }
+  LockManager* lock_manager() { return locks_.get(); }
+  SpaceManager* space_manager() { return space_.get(); }
+  Disk* disk() { return disk_.get(); }
+  const DbOptions& options() const { return options_; }
+
+ private:
+  explicit Db(const DbOptions& options);
+
+  DbOptions options_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<BufferManager> bm_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<SpaceManager> space_;
+  std::unique_ptr<TransactionManager> txn_mgr_;
+  std::unique_ptr<BTree> tree_;
+  std::unique_ptr<Index> index_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_CORE_DB_H_

@@ -1,0 +1,86 @@
+#ifndef OIR_CORE_OPTIONS_H_
+#define OIR_CORE_OPTIONS_H_
+
+// User-facing option structs.
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace oir {
+
+struct DbOptions {
+  // Page size in bytes. The paper's experiments use 2 KB (Section 6.4).
+  uint32_t page_size = kDefaultPageSize;
+
+  // Buffer pool capacity in pages.
+  size_t buffer_pool_pages = 4096;
+
+  // Back the database with a POSIX file instead of memory.
+  bool use_file_disk = false;
+  std::string file_path;
+
+  // Persist the write-ahead log to this file (plus a `.master` sidecar for
+  // the checkpoint pointer). Required for Db::OpenExisting. Empty = the
+  // log lives in memory (crash testing via Db::CrashAndRecover).
+  std::string log_path;
+
+  // Initial device size in pages.
+  uint32_t initial_disk_pages = 64;
+};
+
+// Options of the online index rebuild (Section 3).
+struct RebuildOptions {
+  // Leaf pages rebuilt per multipage rebuild top action. The paper chose 32
+  // based on its performance study (Sections 3, 6.4).
+  uint32_t ntasize = 32;
+
+  // Leaf pages rebuilt per transaction. At the end of each transaction the
+  // new pages are forced to disk and the old pages become reusable; the
+  // paper recommends "a few hundred pages" (Section 3).
+  uint32_t xactsize = 256;
+
+  // Percentage fill of new leaf pages, leaving head room for future
+  // inserts (Section 4.1). 100 packs pages completely.
+  uint32_t fillfactor = 100;
+
+  // Pages per forced-write I/O — emulates configuring large buffers for
+  // the rebuild (Section 6.3: 16 KB buffers over 2 KB pages => 8).
+  uint32_t io_pages = 8;
+
+  // Section 5.5 enhancement: fill level-1 pages by moving inserts into the
+  // left sibling during propagation, avoiding a separate level-1 pass.
+  // Exposed for ablation.
+  bool reorganize_level1 = true;
+
+  // Ablation of the minimal-logging design: when true, key contents are
+  // logged (batch inserts) instead of the position-only keycopy record,
+  // removing the need for the flush-before-free ordering (Section 3).
+  bool log_full_keys = false;
+
+  // Section 6.2 enhancement: set SPLIT bits (writers blocked, readers
+  // allowed) on the pages being rebuilt during the copy phase, and flip
+  // them to SHRINK bits only once the copying is done and the old pages
+  // are about to be unlinked. PP always gets a SHRINK bit (it receives
+  // rows). Default on; exposed for ablation.
+  bool readers_during_copy = true;
+};
+
+struct RebuildResult {
+  uint64_t old_leaf_pages = 0;   // leaf pages consumed (deallocated)
+  uint64_t new_leaf_pages = 0;   // leaf pages produced
+  uint64_t keys_moved = 0;
+  uint64_t top_actions = 0;
+  uint64_t transactions = 0;
+  uint64_t log_bytes = 0;        // log volume attributable to the rebuild
+  uint64_t log_records = 0;
+  uint64_t cpu_ns = 0;           // thread CPU time of the rebuild
+  uint64_t wall_ns = 0;
+  uint64_t level1_visits = 0;
+  uint64_t io_ops = 0;
+};
+
+}  // namespace oir
+
+#endif  // OIR_CORE_OPTIONS_H_

@@ -1,0 +1,149 @@
+#include "recovery/recovery.h"
+
+#include <cstdio>
+
+#include "storage/slotted_page.h"
+#include "util/logging.h"
+
+namespace oir {
+
+std::string RecoveryStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scanned=%llu redone=%llu losers=%llu undone=%llu freed=%llu "
+                "bits_cleared=%llu",
+                (unsigned long long)records_scanned,
+                (unsigned long long)records_redone,
+                (unsigned long long)loser_txns,
+                (unsigned long long)records_undone,
+                (unsigned long long)pages_freed,
+                (unsigned long long)bits_cleared);
+  return std::string(buf);
+}
+
+Status RecoveryManager::AnalyzeAndRedo(RecoveryStats* stats) {
+  ctx_.space->ResetForRecovery();
+  losers_.clear();
+
+  // Start from the last durable checkpoint when one exists: its payload
+  // seeds the page-state map and the loser table, and the scan begins at
+  // the checkpoint's captured scan-start LSN instead of the log head.
+  Lsn scan_from = ctx_.log->head_lsn();
+  Lsn master = ctx_.log->master_checkpoint();
+  if (master != kInvalidLsn) {
+    LogRecord ckpt;
+    OIR_RETURN_IF_ERROR(ctx_.log->ReadRecord(master, &ckpt));
+    if (ckpt.type != LogType::kCheckpoint) {
+      return Status::Corruption("master record is not a checkpoint");
+    }
+    Disk* disk = ctx_.bm->disk();
+    if (ckpt.ckpt_end_page > 0 && ckpt.ckpt_end_page - 1 >= disk->NumPages()) {
+      OIR_RETURN_IF_ERROR(disk->Extend(ckpt.ckpt_end_page));
+    }
+    if (ckpt.ckpt_end_page > kFirstDataPageId) {
+      ctx_.space->SetStateForRecovery(ckpt.ckpt_end_page - 1,
+                                      PageState::kFree);
+    }
+    for (PageId p : ckpt.ckpt_allocated) {
+      ctx_.space->SetStateForRecovery(p, PageState::kAllocated);
+    }
+    for (PageId p : ckpt.ckpt_deallocated) {
+      ctx_.space->SetStateForRecovery(p, PageState::kDeallocated);
+    }
+    for (const CheckpointTxn& t : ckpt.ckpt_txns) {
+      losers_[t.txn_id] = t.last_lsn;
+      if (t.txn_id > max_txn_id_) max_txn_id_ = t.txn_id;
+    }
+    if (ckpt.ckpt_next_txn_id != kInvalidTxnId &&
+        ckpt.ckpt_next_txn_id - 1 > max_txn_id_) {
+      max_txn_id_ = ckpt.ckpt_next_txn_id - 1;
+    }
+    scan_from = ckpt.old_page_lsn;  // the checkpoint's scan-start LSN
+    if (scan_from < ctx_.log->head_lsn()) scan_from = ctx_.log->head_lsn();
+  }
+
+  for (LogManager::Iterator it = ctx_.log->Scan(scan_from);
+       it.Valid(); it.Next()) {
+    const LogRecord& rec = it.record();
+    ++stats->records_scanned;
+    if (rec.txn_id != kInvalidTxnId) {
+      if (rec.txn_id > max_txn_id_) max_txn_id_ = rec.txn_id;
+      if (rec.type == LogType::kEndTxn) {
+        losers_.erase(rec.txn_id);
+      } else {
+        losers_[rec.txn_id] = rec.lsn;
+      }
+    }
+    if (rec.IsPageUpdate() || rec.type == LogType::kAlloc ||
+        rec.type == LogType::kDealloc || rec.type == LogType::kFreePage) {
+      OIR_RETURN_IF_ERROR(RedoRecord(&ctx_, rec));
+      ++stats->records_redone;
+    }
+  }
+  // Transactions whose last record is a commit are winners even without an
+  // end record (the end record may not have been written yet).
+  for (auto it = losers_.begin(); it != losers_.end();) {
+    LogRecord rec;
+    Status s = ctx_.log->ReadRecord(it->second, &rec);
+    if (s.ok() && rec.type == LogType::kCommitTxn) {
+      it = losers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats->loser_txns = losers_.size();
+  return Status::OK();
+}
+
+Status RecoveryManager::UndoLosers(LogicalUndoHook* hook,
+                                   RecoveryStats* stats) {
+  // Losers are rolled back one at a time. This is safe without the strict
+  // descending-LSN interleaving of textbook ARIES because (a) leaf-level
+  // row undo is logical (order independent) and (b) physical undo only
+  // happens inside incomplete nested top actions, whose pages were
+  // X-address-locked by the owning transaction until the crash, so no two
+  // losers have interleaved physical updates on the same page.
+  for (auto& [txn_id, last_lsn] : losers_) {
+    TxnContext txc;
+    txc.txn_id = txn_id;
+    txc.last_lsn = last_lsn;
+    Lsn before = txc.last_lsn;
+    OIR_RETURN_IF_ERROR(RollbackTo(&ctx_, &txc, kInvalidLsn, hook));
+    (void)before;
+    ++stats->records_undone;
+    LogRecord end;
+    end.type = LogType::kEndTxn;
+    ctx_.log->Append(&end, &txc);
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::Finish(RecoveryStats* stats) {
+  std::vector<PageId> deallocated =
+      ctx_.space->PagesInState(PageState::kDeallocated);
+  for (PageId p : deallocated) {
+    ctx_.bm->Discard(p);
+  }
+  std::vector<PageId> freed = ctx_.space->FreeAllDeallocated();
+  stats->pages_freed += freed.size();
+
+  // Clear leftover concurrency-control bits on allocated pages: the address
+  // locks that accompanied them did not survive the crash.
+  for (PageId p : ctx_.space->PagesInState(PageState::kAllocated)) {
+    PageRef ref;
+    OIR_RETURN_IF_ERROR(ctx_.bm->Fetch(p, &ref));
+    ref.latch().LockX();
+    PageHeader* h = ref.header();
+    if ((h->flags & (kFlagSplit | kFlagShrink | kFlagOldPgOfSplit)) != 0) {
+      h->flags = 0;
+      ++stats->bits_cleared;
+      ref.latch().UnlockX();
+      ref.MarkDirty();
+    } else {
+      ref.latch().UnlockX();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oir

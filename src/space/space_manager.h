@@ -1,0 +1,108 @@
+#ifndef OIR_SPACE_SPACE_MANAGER_H_
+#define OIR_SPACE_SPACE_MANAGER_H_
+
+// Page manager implementing the three-state page lifecycle of
+// Section 4.1.3:
+//
+//     free --Allocate--> allocated --Deallocate--> deallocated --Free--> free
+//
+// Allocate and Deallocate are logged (and undone on rollback); the
+// deallocated→free transition is NOT logged and cannot be undone — after a
+// crash, recovery frees any page still in the deallocated state.
+//
+// For clustering (Section 6.1), AllocateChunk hands out physically
+// contiguous runs of pages: the rebuild allocates new leaf pages from such
+// chunks so that key order matches disk order.
+//
+// The allocation map is kept in memory and reconstructed from the log
+// during restart recovery (a substitution for ASE's persistent allocation
+// pages; see DESIGN.md).
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace oir {
+
+enum class PageState : uint8_t {
+  kFree = 0,
+  kAllocated = 1,
+  kDeallocated = 2,
+};
+
+class SpaceManager {
+ public:
+  // Pages [0, first_data_page) are reserved (invalid page 0 and metadata)
+  // and are considered permanently allocated.
+  SpaceManager(Disk* disk, LogManager* log, PageId first_data_page);
+
+  SpaceManager(const SpaceManager&) = delete;
+  SpaceManager& operator=(const SpaceManager&) = delete;
+
+  // Allocates one page (logged; undo returns it to free).
+  Status Allocate(TxnContext* ctx, PageId* out);
+
+  // Allocates `n` physically contiguous pages (each allocation is logged
+  // individually so undo/redo stays uniform).
+  Status AllocateChunk(TxnContext* ctx, uint32_t n, std::vector<PageId>* out);
+
+  // allocated -> deallocated (logged). The page is not yet reusable.
+  Status Deallocate(TxnContext* ctx, PageId page);
+
+  // Deallocates several pages with one log record per 256-page allocation
+  // unit touched — the way ASE's allocation-page updates batch, and what
+  // keeps the rebuild's dealloc logging amortized at large ntasize.
+  Status DeallocateBatch(TxnContext* ctx, const std::vector<PageId>& pages);
+
+  // deallocated -> free (NOT logged, irreversible). The caller must ensure
+  // the flush-before-free ordering of Section 3.
+  void Free(PageId page);
+
+  PageState GetState(PageId page) const;
+
+  // Number of pages in each state (tests, benchmarks).
+  uint64_t CountInState(PageState s) const;
+  std::vector<PageId> PagesInState(PageState s) const;
+
+  // High-water mark: one past the largest page id ever handed out.
+  PageId end_page() const;
+
+  // --- rollback hooks (no logging; used by undo of alloc/dealloc) ---
+  // allocated -> free (undo of Allocate).
+  void UndoAlloc(PageId page);
+  // deallocated -> allocated (undo of Deallocate).
+  void UndoDealloc(PageId page);
+
+  // --- recovery hooks (no logging) ---
+  void SetStateForRecovery(PageId page, PageState s);
+  // Frees all pages still in deallocated state (end of restart recovery,
+  // Section 4.1.3).
+  std::vector<PageId> FreeAllDeallocated();
+  // Reset to the post-creation state before log replay.
+  void ResetForRecovery();
+
+ private:
+  // Finds a run of n contiguous free pages below the high-water mark, or
+  // extends the device. Called with mu_ held.
+  Status ReserveRunLocked(uint32_t n, PageId* first);
+  Status ExtendLocked(uint32_t n, PageId* first);
+
+  Disk* const disk_;
+  LogManager* const log_;
+  const PageId first_data_page_;
+
+  mutable std::mutex mu_;
+  // State of every page in [first_data_page_, next_unused_). Pages at and
+  // beyond next_unused_ are free (device may need extension).
+  std::vector<PageState> states_;
+  PageId next_unused_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_SPACE_SPACE_MANAGER_H_

@@ -1,0 +1,377 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace oir {
+
+char* PageRef::data() {
+  OIR_DCHECK(valid());
+  return bm_->frames_[frame_].data.get();
+}
+
+const char* PageRef::data() const {
+  OIR_DCHECK(valid());
+  return bm_->frames_[frame_].data.get();
+}
+
+Latch& PageRef::latch() {
+  OIR_DCHECK(valid());
+  return bm_->frames_[frame_].latch;
+}
+
+void PageRef::MarkDirty() {
+  OIR_DCHECK(valid());
+  std::lock_guard<std::mutex> l(bm_->mu_);
+  bm_->frames_[frame_].dirty = true;
+}
+
+void PageRef::Release() {
+  if (bm_ != nullptr) {
+    bm_->Unpin(frame_, id_);
+    bm_ = nullptr;
+    frame_ = SIZE_MAX;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferManager::BufferManager(Disk* disk, size_t pool_frames)
+    : disk_(disk), page_size_(disk->page_size()) {
+  OIR_CHECK(pool_frames >= 8);
+  frames_.resize(pool_frames);
+  free_list_.reserve(pool_frames);
+  for (size_t i = 0; i < pool_frames; ++i) {
+    frames_[i].data.reset(new char[page_size_]);
+    free_list_.push_back(pool_frames - 1 - i);
+  }
+}
+
+BufferManager::~BufferManager() {
+#ifndef NDEBUG
+  std::lock_guard<std::mutex> l(mu_);
+  for (const Frame& f : frames_) {
+    OIR_DCHECK(f.pin_count == 0);
+  }
+#endif
+}
+
+void BufferManager::Unpin(size_t frame, PageId id) {
+  std::lock_guard<std::mutex> l(mu_);
+  Frame& f = frames_[frame];
+  OIR_CHECK(f.page_id == id && f.pin_count > 0);
+  --f.pin_count;
+  f.ref = true;
+  if (f.pin_count == 0) cv_.notify_all();
+}
+
+Status BufferManager::AllocateFrameLocked(std::unique_lock<std::mutex>* lk,
+                                          PageId for_page, size_t* out_frame) {
+  for (;;) {
+    if (!free_list_.empty()) {
+      size_t idx = free_list_.back();
+      free_list_.pop_back();
+      Frame& f = frames_[idx];
+      f.page_id = for_page;
+      f.pin_count = 1;
+      f.dirty = false;
+      f.loading = true;
+      f.ref = true;
+      table_[for_page] = idx;
+      *out_frame = idx;
+      return Status::OK();
+    }
+    // Clock scan for an evictable frame.
+    size_t scanned = 0;
+    size_t victim = SIZE_MAX;
+    while (scanned < 2 * frames_.size()) {
+      Frame& f = frames_[clock_hand_];
+      size_t idx = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+      ++scanned;
+      if (f.pin_count != 0 || f.loading) continue;
+      if (f.ref) {
+        f.ref = false;
+        continue;
+      }
+      victim = idx;
+      break;
+    }
+    if (victim == SIZE_MAX) {
+      return Status::NoSpace("buffer pool exhausted: all frames pinned");
+    }
+    Frame& vf = frames_[victim];
+    const PageId old_id = vf.page_id;
+    const bool was_dirty = vf.dirty;
+    vf.loading = true;  // protect from concurrent use during write-back
+    if (was_dirty) {
+      lk->unlock();
+      Status s = WriteBack(victim);
+      lk->lock();
+      if (!s.ok()) {
+        vf.loading = false;
+        cv_.notify_all();
+        return s;
+      }
+      vf.dirty = false;
+      if (table_.count(for_page) != 0) {
+        // Another thread mapped `for_page` while we were writing back the
+        // victim. Leave the (now clean) victim in place and tell the caller
+        // to retry its lookup.
+        vf.loading = false;
+        cv_.notify_all();
+        return Status::Busy("fetch raced");
+      }
+    }
+    table_.erase(old_id);
+    vf.page_id = for_page;
+    vf.pin_count = 1;
+    vf.dirty = false;
+    vf.loading = true;
+    vf.ref = true;
+    table_[for_page] = victim;
+    *out_frame = victim;
+    cv_.notify_all();  // wake fetchers of old_id so they retry
+    return Status::OK();
+  }
+}
+
+Status BufferManager::WriteBack(size_t frame) {
+  Frame& f = frames_[frame];
+  // Copy a consistent image under the S latch.
+  std::unique_ptr<char[]> img(new char[page_size_]);
+  f.latch.LockS();
+  std::memcpy(img.get(), f.data.get(), page_size_);
+  f.latch.UnlockS();
+  const Lsn page_lsn = HeaderOf(img.get())->page_lsn;
+  if (log_flusher_ != nullptr && page_lsn != kInvalidLsn) {
+    OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(page_lsn));
+  }
+  return disk_->WritePage(f.page_id, img.get());
+}
+
+Status BufferManager::Fetch(PageId id, PageRef* out) {
+  OIR_CHECK(id != kInvalidPageId);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.loading) {
+        cv_.wait(lk);
+        continue;
+      }
+      ++f.pin_count;
+      f.ref = true;
+      *out = PageRef(this, it->second, id);
+      return Status::OK();
+    }
+    size_t frame;
+    Status alloc = AllocateFrameLocked(&lk, id, &frame);
+    if (alloc.IsBusy()) continue;  // raced with another fetcher; retry
+    OIR_RETURN_IF_ERROR(alloc);
+    // Frame is mapped to `id`, pinned once, loading=true. Do the read
+    // without the table mutex.
+    lk.unlock();
+    Status s = disk_->ReadPage(id, frames_[frame].data.get());
+    lk.lock();
+    Frame& f = frames_[frame];
+    f.loading = false;
+    cv_.notify_all();
+    if (!s.ok()) {
+      // Undo: unmap and free the frame.
+      --f.pin_count;
+      OIR_CHECK(f.pin_count == 0);
+      table_.erase(id);
+      f.page_id = kInvalidPageId;
+      free_list_.push_back(frame);
+      return s;
+    }
+    *out = PageRef(this, frame, id);
+    return Status::OK();
+  }
+}
+
+Status BufferManager::Create(PageId id, PageRef* out) {
+  OIR_CHECK(id != kInvalidPageId);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.loading) {
+        cv_.wait(lk);
+        continue;
+      }
+      // Stale cached copy of a previously freed page: reuse the frame once
+      // any lingering reader pins drain.
+      if (f.pin_count != 0) {
+        cv_.wait(lk);
+        continue;
+      }
+      ++f.pin_count;
+      f.ref = true;
+      f.dirty = false;
+      std::memset(f.data.get(), 0, page_size_);
+      *out = PageRef(this, it->second, id);
+      return Status::OK();
+    }
+    size_t frame;
+    Status alloc = AllocateFrameLocked(&lk, id, &frame);
+    if (alloc.IsBusy()) continue;  // raced with another fetcher; retry
+    OIR_RETURN_IF_ERROR(alloc);
+    Frame& f = frames_[frame];
+    std::memset(f.data.get(), 0, page_size_);
+    f.loading = false;
+    cv_.notify_all();
+    *out = PageRef(this, frame, id);
+    return Status::OK();
+  }
+}
+
+Status BufferManager::FlushPage(PageId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = table_.find(id);
+    if (it == table_.end()) return Status::OK();
+    size_t frame = it->second;
+    Frame& f = frames_[frame];
+    if (f.loading) {
+      cv_.wait(lk);
+      continue;  // frame may have been remapped while we waited
+    }
+    if (!f.dirty) return Status::OK();
+    ++f.pin_count;  // keep the frame stable during write-back
+    lk.unlock();
+    Status s = WriteBack(frame);
+    lk.lock();
+    if (s.ok()) f.dirty = false;
+    --f.pin_count;
+    if (f.pin_count == 0) cv_.notify_all();
+    return s;
+  }
+}
+
+Status BufferManager::FlushAll() {
+  std::vector<PageId> ids;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    ids.reserve(table_.size());
+    for (const auto& [id, frame] : table_) {
+      if (frames_[frame].dirty) ids.push_back(id);
+    }
+  }
+  for (PageId id : ids) {
+    OIR_RETURN_IF_ERROR(FlushPage(id));
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushPages(const std::vector<PageId>& ids,
+                                 uint32_t io_pages) {
+  OIR_CHECK(io_pages >= 1);
+  std::vector<PageId> sorted(ids);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::unique_ptr<char[]> run_buf(new char[static_cast<size_t>(io_pages) *
+                                           page_size_]);
+  size_t i = 0;
+  while (i < sorted.size()) {
+    // Build a physically contiguous run of up to io_pages dirty pages.
+    uint32_t run_len = 0;
+    Lsn max_lsn = kInvalidLsn;
+    PageId run_start = sorted[i];
+    while (i < sorted.size() && run_len < io_pages &&
+           sorted[i] == run_start + run_len) {
+      PageId id = sorted[i];
+      std::unique_lock<std::mutex> lk(mu_);
+      size_t frame = SIZE_MAX;
+      for (;;) {
+        auto it = table_.find(id);
+        if (it == table_.end()) break;
+        if (frames_[it->second].loading) {
+          cv_.wait(lk);
+          continue;  // re-find: frame may have been remapped
+        }
+        frame = it->second;
+        break;
+      }
+      if (frame == SIZE_MAX) {
+        // Not cached (already written back or evicted). Break the run here
+        // so disk offsets stay aligned.
+        lk.unlock();
+        if (run_len == 0) {
+          ++i;
+          run_start = i < sorted.size() ? sorted[i] : kInvalidPageId;
+          continue;
+        }
+        break;
+      }
+      ++frames_[frame].pin_count;
+      lk.unlock();
+      Frame& fr = frames_[frame];
+      fr.latch.LockS();
+      std::memcpy(run_buf.get() + static_cast<size_t>(run_len) * page_size_,
+                  fr.data.get(), page_size_);
+      fr.latch.UnlockS();
+      Lsn lsn = HeaderOf(run_buf.get() +
+                         static_cast<size_t>(run_len) * page_size_)
+                    ->page_lsn;
+      max_lsn = std::max(max_lsn, lsn);
+      lk.lock();
+      fr.dirty = false;
+      --fr.pin_count;
+      if (fr.pin_count == 0) cv_.notify_all();
+      lk.unlock();
+      ++run_len;
+      ++i;
+    }
+    if (run_len == 0) continue;
+    if (log_flusher_ != nullptr && max_lsn != kInvalidLsn) {
+      OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(max_lsn));
+    }
+    OIR_RETURN_IF_ERROR(disk_->WriteMulti(run_start, run_len, run_buf.get()));
+  }
+  return Status::OK();
+}
+
+void BufferManager::Discard(PageId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = table_.find(id);
+    if (it == table_.end()) return;
+    Frame& f = frames_[it->second];
+    if (f.loading || f.pin_count != 0) {
+      // A reader (e.g. a scan repositioning itself) may hold a short pin on
+      // a page being freed; wait for it to drain.
+      cv_.wait(lk);
+      continue;
+    }
+    f.dirty = false;
+    f.page_id = kInvalidPageId;
+    free_list_.push_back(it->second);
+    table_.erase(it);
+    return;
+  }
+}
+
+void BufferManager::DropAll() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto& [id, frame] : table_) {
+    Frame& f = frames_[frame];
+    OIR_CHECK(f.pin_count == 0 && !f.loading);
+    f.dirty = false;
+    f.page_id = kInvalidPageId;
+    free_list_.push_back(frame);
+  }
+  table_.clear();
+}
+
+size_t BufferManager::CachedPages() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return table_.size();
+}
+
+}  // namespace oir

@@ -1,0 +1,180 @@
+#ifndef OIR_STORAGE_BUFFER_MANAGER_H_
+#define OIR_STORAGE_BUFFER_MANAGER_H_
+
+// Buffer manager: a fixed pool of page frames over a Disk, with pin/unpin,
+// clock eviction, dirty tracking, and the write-ahead-logging constraint
+// (the log is flushed up to a page's pageLSN before the page is written
+// back). Page latches live in the frames; a page can only be latched while
+// pinned, so a latch holder always has a stable frame.
+//
+// The paper's rebuild relies on two buffer-manager behaviours implemented
+// here:
+//   * "forced write" of the new pages at the end of each rebuild
+//     transaction, before the old pages are freed (Section 3) — FlushPages;
+//   * large-buffer I/O: FlushPages groups physically contiguous pages into
+//     multi-page transfers, emulating the 16 KB buffer pool of Section 6.3.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/page.h"
+#include "sync/latch.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace oir {
+
+// Implemented by the log manager; breaks the storage→wal dependency.
+class LogFlusher {
+ public:
+  virtual ~LogFlusher() = default;
+  virtual Status FlushTo(Lsn lsn) = 0;
+};
+
+class BufferManager;
+
+// A pinned page. Move-only; unpins on destruction. Latching is explicit:
+// callers acquire/release via latch() following the ordering rules of
+// Section 6.5.
+class PageRef {
+ public:
+  PageRef() : bm_(nullptr), frame_(SIZE_MAX), id_(kInvalidPageId) {}
+  PageRef(PageRef&& o) noexcept { MoveFrom(&o); }
+  PageRef& operator=(PageRef&& o) noexcept {
+    if (this != &o) {
+      Release();
+      MoveFrom(&o);
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Release(); }
+
+  bool valid() const { return bm_ != nullptr; }
+  PageId id() const { return id_; }
+
+  char* data();
+  const char* data() const;
+  PageHeader* header() { return HeaderOf(data()); }
+  const PageHeader* header() const { return HeaderOf(data()); }
+  Latch& latch();
+
+  // Marks the frame dirty. Call while holding the X latch, after modifying
+  // the page and stamping its page_lsn.
+  void MarkDirty();
+
+  // Explicitly releases the pin (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageRef(BufferManager* bm, size_t frame, PageId id)
+      : bm_(bm), frame_(frame), id_(id) {}
+
+  void MoveFrom(PageRef* o) {
+    bm_ = o->bm_;
+    frame_ = o->frame_;
+    id_ = o->id_;
+    o->bm_ = nullptr;
+    o->frame_ = SIZE_MAX;
+    o->id_ = kInvalidPageId;
+  }
+
+  BufferManager* bm_;
+  size_t frame_;
+  PageId id_;
+};
+
+class BufferManager {
+ public:
+  BufferManager(Disk* disk, size_t pool_frames);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  void SetLogFlusher(LogFlusher* flusher) { log_flusher_ = flusher; }
+
+  uint32_t page_size() const { return page_size_; }
+  Disk* disk() { return disk_; }
+
+  // Pins the page, reading it from disk if absent.
+  Status Fetch(PageId id, PageRef* out);
+
+  // Pins a frame for a freshly allocated page without reading the disk
+  // (free pages have no meaningful content). The buffer is zero-filled; the
+  // caller formats it. Any stale cached frame for this id is replaced.
+  Status Create(PageId id, PageRef* out);
+
+  // Writes the page back if dirty (honoring the WAL constraint). The page
+  // stays cached.
+  Status FlushPage(PageId id);
+
+  // Flushes all dirty pages.
+  Status FlushAll();
+
+  // Forced write of a specific set of pages. Physically contiguous ids are
+  // grouped into transfers of up to io_pages pages each (io_pages >= 1).
+  Status FlushPages(const std::vector<PageId>& ids, uint32_t io_pages);
+
+  // Drops a (clean or dirty) page from the cache without writing it. Used
+  // when a page transitions to the free state — its content is dead. The
+  // page must be unpinned.
+  void Discard(PageId id);
+
+  // Crash simulation: discards every frame without writing anything. All
+  // pages must be unpinned.
+  void DropAll();
+
+  // Test hook: number of distinct pages currently cached.
+  size_t CachedPages() const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;   // guarded by table mutex
+    bool dirty = false;       // guarded by table mutex
+    bool loading = false;     // I/O in progress; guarded by table mutex
+    bool ref = false;         // clock reference bit
+    Latch latch;
+    std::unique_ptr<char[]> data;
+  };
+
+  void Unpin(size_t frame, PageId id);
+
+  // Finds a frame to (re)use. Called with mu_ held; may release and
+  // reacquire it around eviction I/O. On success the frame is marked
+  // loading with pin_count 1 and mapped to `for_page`.
+  Status AllocateFrameLocked(std::unique_lock<std::mutex>* lk, PageId for_page,
+                             size_t* out_frame);
+
+  // Writes the frame's page to disk (WAL constraint honored). The frame's
+  // latch is taken in S mode internally to get a consistent image. Must be
+  // called without holding mu_ and with the frame protected from reuse
+  // (pinned or loading).
+  Status WriteBack(size_t frame);
+
+  Disk* const disk_;
+  const uint32_t page_size_;
+  LogFlusher* log_flusher_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::vector<size_t> free_list_;
+  size_t clock_hand_ = 0;
+};
+
+}  // namespace oir
+
+#endif  // OIR_STORAGE_BUFFER_MANAGER_H_

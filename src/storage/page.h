@@ -1,0 +1,77 @@
+#ifndef OIR_STORAGE_PAGE_H_
+#define OIR_STORAGE_PAGE_H_
+
+// On-page layout: every page starts with a fixed PageHeader followed by a
+// slotted row area. The slot directory grows down from the end of the page;
+// row bytes grow up from the header. Slots are kept dense: deleting slot i
+// shifts slots > i down by one, so slot indexes are the "positions" that
+// physiological log records (insert / delete / keycopy) refer to.
+//
+// The header carries the concurrency-control flags of the paper:
+//   SPLIT        — page is part of an in-flight split top action; writers
+//                  must block (readers may proceed). Section 2.2.
+//   SHRINK       — page is part of an in-flight shrink / rebuild top action;
+//                  both readers and writers must block. Section 2.4.
+//   OLDPGOFSPLIT — the page has a valid side entry directing traversals for
+//                  keys >= sidekey to its new right sibling. Section 2.3.
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/types.h"
+
+namespace oir {
+
+// Default page size matches the paper's experiments (Section 6.4).
+constexpr uint32_t kDefaultPageSize = 2048;
+constexpr uint32_t kMinPageSize = 512;
+constexpr uint32_t kMaxPageSize = 65536;
+
+// Page flag bits.
+constexpr uint16_t kFlagSplit = 1u << 0;
+constexpr uint16_t kFlagShrink = 1u << 1;
+constexpr uint16_t kFlagOldPgOfSplit = 1u << 2;
+
+// Level of leaf pages; level 1 is immediately above the leaf level.
+constexpr uint16_t kLeafLevel = 0;
+// Marker for pages that do not belong to a B+-tree (metadata, unformatted).
+constexpr uint16_t kInvalidLevel = 0xffff;
+
+#pragma pack(push, 1)
+struct PageHeader {
+  PageId page_id;    // 4  own page number (sanity checking)
+  Lsn page_lsn;      // 8  LSN of last update; doubles as the page timestamp
+                     //    recorded in keycopy log records (Section 3)
+  PageId prev_page;  // 4  leaf chain (leaves are doubly linked; Section 1)
+  PageId next_page;  // 4
+  uint16_t level;    // 2  0 = leaf; non-leaf pages are not linked
+  uint16_t flags;    // 2  SPLIT / SHRINK / OLDPGOFSPLIT
+  uint16_t nslots;   // 2  number of rows
+  uint16_t free_ptr; // 2  offset of first unused byte after the row area
+  uint16_t garbage;  // 2  bytes reclaimable by compaction
+  uint16_t unused;   // 2  padding / future use
+};
+#pragma pack(pop)
+
+constexpr uint32_t kPageHeaderSize = sizeof(PageHeader);
+static_assert(kPageHeaderSize == 32, "page header layout changed");
+
+// Each slot directory entry is [offset:2][length:2].
+constexpr uint32_t kSlotSize = 4;
+
+// The index metadata page: stores the root page id (fixed32 at
+// kMetaRootOffset). The first B+-tree page is allocated at page 2.
+constexpr PageId kMetaPageId = 1;
+constexpr PageId kFirstDataPageId = 2;
+constexpr uint32_t kMetaRootOffset = kPageHeaderSize;
+
+inline PageHeader* HeaderOf(char* page) {
+  return reinterpret_cast<PageHeader*>(page);
+}
+inline const PageHeader* HeaderOf(const char* page) {
+  return reinterpret_cast<const PageHeader*>(page);
+}
+
+}  // namespace oir
+
+#endif  // OIR_STORAGE_PAGE_H_

@@ -1,0 +1,80 @@
+#ifndef OIR_SYNC_LATCH_H_
+#define OIR_SYNC_LATCH_H_
+
+// Page latches for physical consistency (Section 2): shared (S) for reads,
+// exclusive (X) for writes. Latches are short-duration — held only across a
+// page access, never across I/O waits for locks. Deadlocks are prevented by
+// the ordering rules of Section 6.5 (top-down across levels, left-to-right
+// within a level), which the B+-tree and rebuild code obey.
+
+#include <shared_mutex>
+
+#include "util/counters.h"
+
+namespace oir {
+
+enum class LatchMode { kShared, kExclusive };
+
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void LockS() {
+    auto& c = GlobalCounters::Get();
+    c.latch_acquires.fetch_add(1, std::memory_order_relaxed);
+    if (!mu_.try_lock_shared()) {
+      c.latch_waits.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock_shared();
+    }
+  }
+
+  void UnlockS() { mu_.unlock_shared(); }
+
+  void LockX() {
+    auto& c = GlobalCounters::Get();
+    c.latch_acquires.fetch_add(1, std::memory_order_relaxed);
+    if (!mu_.try_lock()) {
+      c.latch_waits.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+  }
+
+  void UnlockX() { mu_.unlock(); }
+
+  bool TryLockS() {
+    GlobalCounters::Get().latch_acquires.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    return mu_.try_lock_shared();
+  }
+
+  bool TryLockX() {
+    GlobalCounters::Get().latch_acquires.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    return mu_.try_lock();
+  }
+
+  void Lock(LatchMode mode) {
+    if (mode == LatchMode::kShared) {
+      LockS();
+    } else {
+      LockX();
+    }
+  }
+
+  void Unlock(LatchMode mode) {
+    if (mode == LatchMode::kShared) {
+      UnlockS();
+    } else {
+      UnlockX();
+    }
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_SYNC_LATCH_H_

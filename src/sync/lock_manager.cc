@@ -1,0 +1,145 @@
+#include "sync/lock_manager.h"
+
+#include <condition_variable>
+
+#include "util/counters.h"
+#include "util/logging.h"
+
+namespace oir {
+
+struct LockManager::Shard {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<LockKey, Entry, LockKeyHash> table;
+};
+
+LockManager::LockManager()
+    : shards_(new Shard[kNumShards]),
+      wait_timeout_(std::chrono::milliseconds(10000)) {}
+
+LockManager::~LockManager() { delete[] shards_; }
+
+LockManager::Shard& LockManager::ShardFor(const LockKey& key) const {
+  return shards_[LockKeyHash()(key) % kNumShards];
+}
+
+bool LockManager::Grantable(const Entry& e, TxnId owner, LockMode mode) {
+  for (const auto& [holder, h] : e.granted) {
+    if (holder == owner) continue;
+    if (mode == LockMode::kX || h.mode == LockMode::kX) return false;
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
+                         bool conditional) {
+  auto& c = GlobalCounters::Get();
+  c.lock_requests.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  Entry& e = shard.table[key];
+
+  auto self = e.granted.find(owner);
+  if (self != e.granted.end() && self->second.mode >= mode) {
+    // Already held at sufficient strength.
+    ++self->second.count;
+    return Status::OK();
+  }
+
+  if (!Grantable(e, owner, mode)) {
+    if (conditional) {
+      if (e.granted.empty()) shard.table.erase(key);
+      return Status::Busy("lock not available");
+    }
+    c.lock_waits.fetch_add(1, std::memory_order_relaxed);
+    auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+    while (!Grantable(shard.table[key], owner, mode)) {
+      if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+        Entry& e2 = shard.table[key];
+        if (e2.granted.empty()) shard.table.erase(key);
+        return Status::Aborted("lock wait timeout (possible deadlock)");
+      }
+    }
+  }
+
+  Entry& e3 = shard.table[key];
+  auto it = e3.granted.find(owner);
+  if (it == e3.granted.end()) {
+    e3.granted[owner] = Holder{mode, 1};
+  } else {
+    // Upgrade (S -> X). Count carries over plus this acquisition.
+    it->second.mode = mode;
+    ++it->second.count;
+  }
+  return Status::OK();
+}
+
+Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
+                                bool conditional) {
+  auto& c = GlobalCounters::Get();
+  c.lock_requests.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end() || Grantable(it->second, owner, mode)) {
+    return Status::OK();
+  }
+  if (conditional) return Status::Busy("lock not available");
+  c.lock_waits.fetch_add(1, std::memory_order_relaxed);
+  auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+  for (;;) {
+    auto it2 = shard.table.find(key);
+    if (it2 == shard.table.end() || Grantable(it2->second, owner, mode)) {
+      return Status::OK();
+    }
+    if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      return Status::Aborted("lock wait timeout (possible deadlock)");
+    }
+  }
+}
+
+void LockManager::Unlock(TxnId owner, LockKey key) {
+  Shard& shard = ShardFor(key);
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.table.find(key);
+    if (it == shard.table.end()) return;
+    auto self = it->second.granted.find(owner);
+    if (self == it->second.granted.end()) return;
+    if (--self->second.count == 0) {
+      it->second.granted.erase(self);
+      wake = true;
+      if (it->second.granted.empty()) shard.table.erase(it);
+    }
+  }
+  if (wake) shard.cv.notify_all();
+}
+
+void LockManager::Reset() {
+  for (size_t i = 0; i < kNumShards; ++i) {
+    std::lock_guard<std::mutex> lk(shards_[i].mu);
+    shards_[i].table.clear();
+  }
+}
+
+bool LockManager::IsHeld(TxnId owner, LockKey key, LockMode mode) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return false;
+  auto self = it->second.granted.find(owner);
+  if (self == it->second.granted.end()) return false;
+  return self->second.mode >= mode;
+}
+
+size_t LockManager::NumLockedKeys() const {
+  size_t n = 0;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    std::lock_guard<std::mutex> lk(shards_[i].mu);
+    n += shards_[i].table.size();
+  }
+  return n;
+}
+
+}  // namespace oir

@@ -1,0 +1,122 @@
+#ifndef OIR_SYNC_LOCK_MANAGER_H_
+#define OIR_SYNC_LOCK_MANAGER_H_
+
+// Lock manager providing the two kinds of locks of Section 2:
+//
+//  * Address locks — X locks on page numbers acquired by split, shrink and
+//    rebuild top actions (Section 2.2). They are distinguished from logical
+//    locks and are released when the top action completes. Blocked writers
+//    wait by requesting an "unconditional instant duration S lock" on the
+//    page: the request waits until it is grantable and is then immediately
+//    released.
+//
+//  * Logical locks — row-level locks acquired by insert, delete and scan
+//    operations as dictated by the isolation level. Held to transaction end.
+//
+// Requests may be conditional (fail immediately with Status::Busy instead
+// of waiting) — the rebuild copy phase uses conditional requests on
+// P2..Pn so it can truncate the batch instead of waiting (Section 4.1.1).
+//
+// The index concurrency protocols (Section 6.5) guarantee that address
+// locks and latches never deadlock; only logical-lock deadlocks are
+// possible. A wait timeout (default 10 s) converts a suspected logical-lock
+// deadlock into Status::Aborted, making the requester the victim.
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace oir {
+
+enum class LockMode : uint8_t { kS = 0, kX = 1 };
+
+enum class LockSpace : uint8_t {
+  kAddress = 0,  // page-number address locks
+  kLogical = 1,  // row-level logical locks
+};
+
+struct LockKey {
+  LockSpace space;
+  uint64_t id;
+
+  bool operator==(const LockKey& o) const {
+    return space == o.space && id == o.id;
+  }
+};
+
+struct LockKeyHash {
+  size_t operator()(const LockKey& k) const {
+    return std::hash<uint64_t>()(k.id * 2 + static_cast<uint64_t>(k.space));
+  }
+};
+
+inline LockKey AddressLockKey(PageId page) {
+  return LockKey{LockSpace::kAddress, page};
+}
+inline LockKey LogicalLockKey(RowId row) {
+  return LockKey{LockSpace::kLogical, row};
+}
+
+class LockManager {
+ public:
+  LockManager();
+  ~LockManager();
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Acquires (or upgrades to) `mode`. Re-entrant for the same owner.
+  // conditional=true: returns Busy instead of waiting.
+  // Returns Aborted if the wait exceeds the timeout.
+  Status Lock(TxnId owner, LockKey key, LockMode mode, bool conditional);
+
+  // Instant-duration request: waits until the lock would be grantable, then
+  // returns without retaining it. Used to block on SPLIT/SHRINK bits.
+  Status LockInstant(TxnId owner, LockKey key, LockMode mode,
+                     bool conditional);
+
+  // Releases one acquisition of `key` by `owner` (locks are counted; the
+  // lock is dropped when the count reaches zero).
+  void Unlock(TxnId owner, LockKey key);
+
+  // Crash simulation: drops every lock unconditionally (the locks of a
+  // crashed process die with it). No waiters may be blocked when called.
+  void Reset();
+
+  // Test / introspection hooks.
+  bool IsHeld(TxnId owner, LockKey key, LockMode mode) const;
+  size_t NumLockedKeys() const;
+
+  void set_wait_timeout(std::chrono::milliseconds t) { wait_timeout_ = t; }
+
+ private:
+  struct Shard;
+
+  struct Holder {
+    LockMode mode;
+    uint32_t count;
+  };
+
+  struct Entry {
+    std::map<TxnId, Holder> granted;
+  };
+
+  // True if `owner` may acquire `mode` given current holders.
+  static bool Grantable(const Entry& e, TxnId owner, LockMode mode);
+
+  Shard& ShardFor(const LockKey& key) const;
+
+  static constexpr size_t kNumShards = 16;
+  Shard* shards_;
+  std::chrono::milliseconds wait_timeout_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_SYNC_LOCK_MANAGER_H_

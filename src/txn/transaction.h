@@ -1,0 +1,60 @@
+#ifndef OIR_TXN_TRANSACTION_H_
+#define OIR_TXN_TRANSACTION_H_
+
+// Transactions and nested top actions (Section 2). A transaction carries
+// its prevLSN chain (TxnContext) and the set of transaction-duration locks
+// (logical row locks). Address locks taken by split/shrink/rebuild top
+// actions are tracked by the NTA scopes inside the index manager, not here,
+// because they are released when the top action completes rather than at
+// transaction end.
+
+#include <cstdint>
+#include <vector>
+
+#include "sync/lock_manager.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace oir {
+
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) { ctx_.txn_id = id; }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return ctx_.txn_id; }
+  TxnContext* ctx() { return &ctx_; }
+  Lsn last_lsn() const { return ctx_.last_lsn; }
+
+  // LSN of the transaction's begin record: the log may not be truncated
+  // past the oldest active transaction's begin (its undo chain must stay
+  // readable).
+  Lsn begin_lsn() const { return begin_lsn_; }
+  void set_begin_lsn(Lsn lsn) { begin_lsn_ = lsn; }
+
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  // Registers a transaction-duration lock for release at commit/abort.
+  void TrackLock(LockKey key) { txn_locks_.push_back(key); }
+  const std::vector<LockKey>& tracked_locks() const { return txn_locks_; }
+  void clear_tracked_locks() { txn_locks_.clear(); }
+
+ private:
+  TxnContext ctx_;
+  Lsn begin_lsn_ = kInvalidLsn;
+  TxnState state_ = TxnState::kActive;
+  std::vector<LockKey> txn_locks_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_TXN_TRANSACTION_H_

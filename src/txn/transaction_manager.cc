@@ -1,0 +1,105 @@
+#include "txn/transaction_manager.h"
+
+#include "util/logging.h"
+
+namespace oir {
+
+TransactionManager::TransactionManager(LogManager* log, LockManager* locks,
+                                       BufferManager* bm, SpaceManager* space)
+    : log_(log), locks_(locks), bm_(bm), space_(space) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id);
+  LogRecord rec;
+  rec.type = LogType::kBeginTxn;
+  Lsn lsn = log_->Append(&rec, txn->ctx());
+  txn->set_begin_lsn(lsn);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    active_[id] = txn.get();
+  }
+  return txn;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  OIR_CHECK(txn->state() == TxnState::kActive);
+  LogRecord commit;
+  commit.type = LogType::kCommitTxn;
+  Lsn lsn = log_->Append(&commit, txn->ctx());
+  OIR_RETURN_IF_ERROR(log_->FlushTo(lsn));
+  ReleaseTrackedLocks(txn);
+  LogRecord end;
+  end.type = LogType::kEndTxn;
+  log_->Append(&end, txn->ctx());
+  txn->set_state(TxnState::kCommitted);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    active_.erase(txn->id());
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  OIR_CHECK(txn->state() == TxnState::kActive);
+  LogRecord abort;
+  abort.type = LogType::kAbortTxn;
+  log_->Append(&abort, txn->ctx());
+
+  ApplyContext ctx{bm_, space_, log_};
+  OIR_RETURN_IF_ERROR(RollbackTo(&ctx, txn->ctx(), kInvalidLsn, hook_));
+
+  ReleaseTrackedLocks(txn);
+  LogRecord end;
+  end.type = LogType::kEndTxn;
+  log_->Append(&end, txn->ctx());
+  txn->set_state(TxnState::kAborted);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    active_.erase(txn->id());
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::LockLogical(Transaction* txn, RowId row,
+                                       LockMode mode) {
+  LockKey key = LogicalLockKey(row);
+  OIR_RETURN_IF_ERROR(locks_->Lock(txn->id(), key, mode,
+                                   /*conditional=*/false));
+  txn->TrackLock(key);
+  return Status::OK();
+}
+
+void TransactionManager::ReleaseTrackedLocks(Transaction* txn) {
+  for (const LockKey& key : txn->tracked_locks()) {
+    locks_->Unlock(txn->id(), key);
+  }
+  txn->clear_tracked_locks();
+}
+
+void TransactionManager::ResetAfterCrash(TxnId next_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  active_.clear();
+  TxnId cur = next_txn_id_.load(std::memory_order_relaxed);
+  if (next_id > cur) next_txn_id_.store(next_id, std::memory_order_relaxed);
+}
+
+void TransactionManager::SnapshotActive(std::vector<CheckpointTxn>* out,
+                                        Lsn* oldest_begin) const {
+  std::lock_guard<std::mutex> l(mu_);
+  out->clear();
+  *oldest_begin = kInvalidLsn;
+  for (const auto& [id, txn] : active_) {
+    out->push_back(CheckpointTxn{id, txn->last_lsn()});
+    if (*oldest_begin == kInvalidLsn || txn->begin_lsn() < *oldest_begin) {
+      *oldest_begin = txn->begin_lsn();
+    }
+  }
+}
+
+size_t TransactionManager::NumActive() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return active_.size();
+}
+
+}  // namespace oir

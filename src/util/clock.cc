@@ -1,0 +1,20 @@
+#include "util/clock.h"
+
+#include <ctime>
+
+namespace oir {
+
+namespace {
+uint64_t ReadClock(clockid_t id) {
+  struct timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+uint64_t NowNanos() { return ReadClock(CLOCK_MONOTONIC); }
+uint64_t ThreadCpuNanos() { return ReadClock(CLOCK_THREAD_CPUTIME_ID); }
+uint64_t ProcessCpuNanos() { return ReadClock(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace oir

@@ -1,0 +1,23 @@
+#ifndef OIR_UTIL_CLOCK_H_
+#define OIR_UTIL_CLOCK_H_
+
+// Wall-clock and per-thread CPU-time helpers. The Table 1 reproduction
+// reports Cratio — a ratio of CPU times of the rebuild at different
+// ntasize values — so we measure thread CPU time, not wall time.
+
+#include <cstdint>
+
+namespace oir {
+
+// Nanoseconds of wall-clock time (monotonic).
+uint64_t NowNanos();
+
+// Nanoseconds of CPU time consumed by the calling thread.
+uint64_t ThreadCpuNanos();
+
+// Nanoseconds of CPU time consumed by the whole process.
+uint64_t ProcessCpuNanos();
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_CLOCK_H_

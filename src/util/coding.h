@@ -1,0 +1,81 @@
+#ifndef OIR_UTIL_CODING_H_
+#define OIR_UTIL_CODING_H_
+
+// Little-endian fixed-width and varint encoding helpers, used by log record
+// serialization and on-page structures.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace oir {
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* ptr) {
+  uint16_t value;
+  std::memcpy(&value, ptr, sizeof(value));
+  return value;
+}
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t value;
+  std::memcpy(&value, ptr, sizeof(value));
+  return value;
+}
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t value;
+  std::memcpy(&value, ptr, sizeof(value));
+  return value;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+// Appends a varint32 length followed by the slice contents.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+// Decoders return a pointer past the parsed value, or nullptr on underflow
+// or malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+// Slice-consuming variants: advance *input past the parsed value. Return
+// false on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+int VarintLength(uint64_t v);
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_CODING_H_

@@ -1,0 +1,66 @@
+#include "util/counters.h"
+
+#include <cstdio>
+
+namespace oir {
+
+GlobalCounters& GlobalCounters::Get() {
+  static GlobalCounters* instance = new GlobalCounters();
+  return *instance;
+}
+
+CounterSnapshot GlobalCounters::Snapshot() const {
+  CounterSnapshot s;
+  s.latch_acquires = latch_acquires.load(std::memory_order_relaxed);
+  s.latch_waits = latch_waits.load(std::memory_order_relaxed);
+  s.lock_requests = lock_requests.load(std::memory_order_relaxed);
+  s.lock_waits = lock_waits.load(std::memory_order_relaxed);
+  s.log_records = log_records.load(std::memory_order_relaxed);
+  s.log_bytes = log_bytes.load(std::memory_order_relaxed);
+  s.pages_read = pages_read.load(std::memory_order_relaxed);
+  s.pages_written = pages_written.load(std::memory_order_relaxed);
+  s.io_ops = io_ops.load(std::memory_order_relaxed);
+  s.io_read_ops = io_read_ops.load(std::memory_order_relaxed);
+  s.io_write_ops = io_write_ops.load(std::memory_order_relaxed);
+  s.level1_visits = level1_visits.load(std::memory_order_relaxed);
+  s.traversal_restarts = traversal_restarts.load(std::memory_order_relaxed);
+  s.blocked_traversals = blocked_traversals.load(std::memory_order_relaxed);
+  return s;
+}
+
+void GlobalCounters::Reset() {
+  latch_acquires.store(0, std::memory_order_relaxed);
+  latch_waits.store(0, std::memory_order_relaxed);
+  lock_requests.store(0, std::memory_order_relaxed);
+  lock_waits.store(0, std::memory_order_relaxed);
+  log_records.store(0, std::memory_order_relaxed);
+  log_bytes.store(0, std::memory_order_relaxed);
+  pages_read.store(0, std::memory_order_relaxed);
+  pages_written.store(0, std::memory_order_relaxed);
+  io_ops.store(0, std::memory_order_relaxed);
+  io_read_ops.store(0, std::memory_order_relaxed);
+  io_write_ops.store(0, std::memory_order_relaxed);
+  level1_visits.store(0, std::memory_order_relaxed);
+  traversal_restarts.store(0, std::memory_order_relaxed);
+  blocked_traversals.store(0, std::memory_order_relaxed);
+}
+
+std::string CounterSnapshot::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "latch_acquires=%llu latch_waits=%llu lock_requests=%llu "
+      "lock_waits=%llu log_records=%llu log_bytes=%llu pages_read=%llu "
+      "pages_written=%llu io_ops=%llu level1_visits=%llu "
+      "traversal_restarts=%llu blocked_traversals=%llu",
+      (unsigned long long)latch_acquires, (unsigned long long)latch_waits,
+      (unsigned long long)lock_requests, (unsigned long long)lock_waits,
+      (unsigned long long)log_records, (unsigned long long)log_bytes,
+      (unsigned long long)pages_read, (unsigned long long)pages_written,
+      (unsigned long long)io_ops, (unsigned long long)level1_visits,
+      (unsigned long long)traversal_restarts,
+      (unsigned long long)blocked_traversals);
+  return std::string(buf);
+}
+
+}  // namespace oir

@@ -1,0 +1,81 @@
+#ifndef OIR_UTIL_COUNTERS_H_
+#define OIR_UTIL_COUNTERS_H_
+
+// Global event counters used to account for the cost drivers the paper
+// discusses: latch-manager and lock-manager calls, log volume, page I/O and
+// level-1 page visits (Section 4.3, Section 6.4). Benchmarks snapshot and
+// reset these around measured regions.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace oir {
+
+struct CounterSnapshot {
+  uint64_t latch_acquires = 0;
+  uint64_t latch_waits = 0;
+  uint64_t lock_requests = 0;
+  uint64_t lock_waits = 0;
+  uint64_t log_records = 0;
+  uint64_t log_bytes = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t io_ops = 0;
+  uint64_t io_read_ops = 0;
+  uint64_t io_write_ops = 0;
+  uint64_t level1_visits = 0;
+  uint64_t traversal_restarts = 0;
+  uint64_t blocked_traversals = 0;
+
+  CounterSnapshot operator-(const CounterSnapshot& b) const {
+    CounterSnapshot r;
+    r.latch_acquires = latch_acquires - b.latch_acquires;
+    r.latch_waits = latch_waits - b.latch_waits;
+    r.lock_requests = lock_requests - b.lock_requests;
+    r.lock_waits = lock_waits - b.lock_waits;
+    r.log_records = log_records - b.log_records;
+    r.log_bytes = log_bytes - b.log_bytes;
+    r.pages_read = pages_read - b.pages_read;
+    r.pages_written = pages_written - b.pages_written;
+    r.io_ops = io_ops - b.io_ops;
+    r.io_read_ops = io_read_ops - b.io_read_ops;
+    r.io_write_ops = io_write_ops - b.io_write_ops;
+    r.level1_visits = level1_visits - b.level1_visits;
+    r.traversal_restarts = traversal_restarts - b.traversal_restarts;
+    r.blocked_traversals = blocked_traversals - b.blocked_traversals;
+    return r;
+  }
+
+  std::string ToString() const;
+};
+
+class GlobalCounters {
+ public:
+  static GlobalCounters& Get();
+
+  std::atomic<uint64_t> latch_acquires{0};
+  std::atomic<uint64_t> latch_waits{0};
+  std::atomic<uint64_t> lock_requests{0};
+  std::atomic<uint64_t> lock_waits{0};
+  std::atomic<uint64_t> log_records{0};
+  std::atomic<uint64_t> log_bytes{0};
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
+  std::atomic<uint64_t> io_ops{0};
+  std::atomic<uint64_t> io_read_ops{0};
+  std::atomic<uint64_t> io_write_ops{0};
+  std::atomic<uint64_t> level1_visits{0};
+  std::atomic<uint64_t> traversal_restarts{0};
+  std::atomic<uint64_t> blocked_traversals{0};
+
+  CounterSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  GlobalCounters() = default;
+};
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_COUNTERS_H_

@@ -1,0 +1,42 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace oir::crc32c {
+
+namespace {
+
+// Table-driven CRC-32C, generated at first use (byte-at-a-time; adequate
+// for log volumes in tests and benchmarks).
+struct Table {
+  std::array<uint32_t, 256> t;
+  Table() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& table = GetTable();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace oir::crc32c

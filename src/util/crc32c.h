@@ -1,0 +1,35 @@
+#ifndef OIR_UTIL_CRC32C_H_
+#define OIR_UTIL_CRC32C_H_
+
+// CRC-32C (Castagnoli) checksums, used to detect torn or corrupt log
+// records during recovery.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oir::crc32c {
+
+// Returns the crc32c of concat(A, data[0,n-1]) where init_crc is the
+// crc32c of some string A.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+// Returns the crc32c of data[0,n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+// Masking is applied to CRCs stored alongside the data they cover so that
+// computing the CRC of a string containing embedded CRCs does not yield
+// pathological results (same scheme as leveldb).
+constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace oir::crc32c
+
+#endif  // OIR_UTIL_CRC32C_H_

@@ -1,0 +1,114 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace oir {
+
+const std::vector<uint64_t>& Histogram::BucketLimits() {
+  static const std::vector<uint64_t>* limits = [] {
+    auto* v = new std::vector<uint64_t>();
+    // 1, 2, 3, ..., 10, 12, 14, ... roughly exponential with ~1.25 growth.
+    uint64_t x = 1;
+    while (x < std::numeric_limits<uint64_t>::max() / 2) {
+      v->push_back(x);
+      uint64_t next = x + std::max<uint64_t>(1, x / 4);
+      x = next;
+    }
+    v->push_back(std::numeric_limits<uint64_t>::max());
+    return v;
+  }();
+  return *limits;
+}
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0),
+      buckets_(BucketLimits().size(), 0) {}
+
+void Histogram::Add(uint64_t value) {
+  const auto& limits = BucketLimits();
+  size_t b = std::upper_bound(limits.begin(), limits.end(), value) -
+             limits.begin();
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  std::lock_guard<std::mutex> l(mu_);
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++buckets_[b];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::lock_guard<std::mutex> lo(other.mu_);
+  std::lock_guard<std::mutex> l(mu_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return count_;
+}
+
+uint64_t Histogram::Min() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return count_ == 0 ? 0 : min_;
+}
+
+uint64_t Histogram::Max() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (count_ == 0) return 0.0;
+  const auto& limits = BucketLimits();
+  uint64_t threshold = static_cast<uint64_t>((p / 100.0) * count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= threshold) {
+      // Return bucket upper bound (conservative).
+      uint64_t hi = limits[i];
+      return static_cast<double>(std::min(hi, max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f min=%llu max=%llu p50=%.0f p95=%.0f "
+                "p99=%.0f",
+                static_cast<unsigned long long>(Count()), Mean(),
+                static_cast<unsigned long long>(Min()),
+                static_cast<unsigned long long>(Max()), Percentile(50),
+                Percentile(95), Percentile(99));
+  return std::string(buf);
+}
+
+}  // namespace oir

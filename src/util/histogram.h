@@ -1,0 +1,45 @@
+#ifndef OIR_UTIL_HISTOGRAM_H_
+#define OIR_UTIL_HISTOGRAM_H_
+
+// A thread-safe histogram for latency / size distributions, reported by the
+// benchmark harness (p50/p95/p99, mean, min, max).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oir {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t Count() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+  double Mean() const;
+  // p in [0, 100].
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  // Exponential buckets: bucket i covers [kBucketLimits[i-1], kBucketLimits[i]).
+  static const std::vector<uint64_t>& BucketLimits();
+
+  mutable std::mutex mu_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_HISTOGRAM_H_

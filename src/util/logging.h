@@ -1,0 +1,42 @@
+#ifndef OIR_UTIL_LOGGING_H_
+#define OIR_UTIL_LOGGING_H_
+
+// Assertion and invariant-checking macros.
+//
+// OIR_CHECK(cond)     — always-on invariant check; aborts with a message.
+// OIR_DCHECK(cond)    — debug-only check (compiled out in NDEBUG builds).
+// OIR_UNREACHABLE()   — marks code paths that must not execute.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oir {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "OIR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace oir
+
+#define OIR_CHECK(cond)                                 \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      ::oir::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define OIR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define OIR_DCHECK(cond) OIR_CHECK(cond)
+#endif
+
+#define OIR_UNREACHABLE() \
+  ::oir::CheckFailed(__FILE__, __LINE__, "unreachable code reached")
+
+#endif  // OIR_UTIL_LOGGING_H_

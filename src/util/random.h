@@ -1,0 +1,66 @@
+#ifndef OIR_UTIL_RANDOM_H_
+#define OIR_UTIL_RANDOM_H_
+
+// A simple deterministic pseudo-random generator (xorshift128+), used by
+// tests, workload generators and benchmarks for reproducible runs.
+
+#include <cstdint>
+#include <string>
+
+namespace oir {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed)
+      : s0_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed),
+        s1_(SplitMix(&s0_)) {
+    s0_ = SplitMix(&s1_);
+    // Warm up.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Returns true with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Random printable-ish byte string of exactly len bytes.
+  std::string Bytes(size_t len) {
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return s;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_RANDOM_H_

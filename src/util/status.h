@@ -1,0 +1,86 @@
+#ifndef OIR_UTIL_STATUS_H_
+#define OIR_UTIL_STATUS_H_
+
+// Status encodes the result of an operation, in the style of
+// rocksdb::Status. Success is represented by Status::OK(); errors carry a
+// code and a message. The library does not use exceptions.
+
+#include <string>
+#include <utility>
+
+namespace oir {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kBusy = 5,          // conditional lock/latch not granted
+    kAborted = 6,       // transaction aborted (deadlock victim, interrupt)
+    kNoSpace = 7,       // buffer pool or disk exhausted
+    kNotSupported = 8,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Propagate a non-OK status to the caller.
+#define OIR_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::oir::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_STATUS_H_

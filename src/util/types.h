@@ -1,0 +1,35 @@
+#ifndef OIR_UTIL_TYPES_H_
+#define OIR_UTIL_TYPES_H_
+
+// Fundamental identifier types shared across modules.
+
+#include <cstdint>
+
+namespace oir {
+
+// Pages are identified by a 32-bit page number. Page 0 is reserved as the
+// invalid page id (the index metadata lives on page 1).
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0;
+
+// Log sequence number: byte offset of a record in the log. LSN 0 means
+// "no LSN" (e.g., freshly formatted page, head of a prevLSN chain).
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+// Transaction identifier. 0 is reserved for "no transaction" (e.g.,
+// system-generated records).
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxnId = 0;
+
+// Slot position within a page (the "position" recorded in insert/delete and
+// keycopy log records).
+using SlotId = uint16_t;
+
+// Row identifier of a data record; secondary index leaf entries are
+// [key value, RowId] pairs (Section 1 of the paper).
+using RowId = uint64_t;
+
+}  // namespace oir
+
+#endif  // OIR_UTIL_TYPES_H_

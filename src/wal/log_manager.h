@@ -1,0 +1,136 @@
+#ifndef OIR_WAL_LOG_MANAGER_H_
+#define OIR_WAL_LOG_MANAGER_H_
+
+// Append-only write-ahead log. LSNs are byte offsets of records within the
+// log stream. The log is kept in memory with an explicit durability
+// boundary (`durable_lsn`): FlushTo() advances it, and SimulateCrash()
+// discards everything beyond it — modeling the durability contract of a
+// real log device for crash-recovery testing without an actual reboot.
+//
+// Record framing: [len:4][masked crc32c:4][payload]. A failed CRC or a
+// truncated frame marks the end of the recoverable log (torn tail).
+
+#include <mutex>
+#include <string>
+
+#include "storage/buffer_manager.h"  // for LogFlusher
+#include "util/status.h"
+#include "util/types.h"
+#include "wal/log_record.h"
+
+namespace oir {
+
+// Per-transaction logging context: identifies the owner and carries the
+// prevLSN chain. Handed out by Transaction; defined here so lower layers
+// (space manager, B+-tree) can log without depending on the txn module.
+struct TxnContext {
+  TxnId txn_id = kInvalidTxnId;
+  Lsn last_lsn = kInvalidLsn;
+};
+
+class LogManager : public LogFlusher {
+ public:
+  // In-memory log (tests, benchmarks; crash simulation via SimulateCrash).
+  LogManager();
+  ~LogManager() override;
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  // File-backed log: records become durable in `path` when flushed, and a
+  // sidecar `path.master` holds the master checkpoint pointer. Open reads
+  // any existing content (surviving a real process restart); pass
+  // truncate=true to start fresh.
+  static Status Open(const std::string& path, bool truncate,
+                     std::unique_ptr<LogManager>* out);
+
+  // Serializes `rec`, chaining it to ctx->last_lsn, and advances
+  // ctx->last_lsn to the new record's LSN (also stored in rec->lsn).
+  Lsn Append(LogRecord* rec, TxnContext* ctx);
+
+  // Appends a record not belonging to any transaction chain.
+  Lsn AppendSystem(LogRecord* rec);
+
+  // Durability.
+  Status FlushTo(Lsn lsn) override;
+  Status FlushAll();
+  Lsn durable_lsn() const;
+
+  // LSN one past the last appended record (exclusive end of log).
+  Lsn tail_lsn() const;
+
+  // LSN of the first readable record (advances when the log is trimmed).
+  Lsn head_lsn() const { return trim_lsn(); }
+
+  // Random access read of the record at `lsn`. If `next_lsn` is non-null it
+  // receives the LSN of the following record.
+  Status ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn = nullptr) const;
+
+  // Forward scan. Stops cleanly at the torn tail.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const LogRecord& record() const { return rec_; }
+    Lsn lsn() const { return lsn_; }
+    void Next();
+
+   private:
+    friend class LogManager;
+    Iterator(const LogManager* log, Lsn start, Lsn limit);
+    void ReadCurrent();
+
+    const LogManager* log_;
+    Lsn lsn_;
+    Lsn next_lsn_;
+    Lsn limit_;
+    bool valid_;
+    LogRecord rec_;
+  };
+
+  // Iterates records in [start, limit). limit = kInvalidLsn means tail.
+  Iterator Scan(Lsn start, Lsn limit = kInvalidLsn) const;
+
+  // ---- checkpoints ----
+  // Records the location of the most recent complete checkpoint (the
+  // "master record"). Survives a crash only if `lsn` is durable by then.
+  void SetMasterCheckpoint(Lsn lsn);
+  Lsn master_checkpoint() const;
+
+  // Reclaims the log before `lsn` (exclusive): records below it become
+  // unreadable and their memory is released. The caller must ensure no
+  // checkpoint or active transaction needs them (see Db::Checkpoint).
+  void DiscardPrefix(Lsn lsn);
+
+  // First readable LSN (head of the retained log).
+  Lsn trim_lsn() const;
+
+  // Crash simulation: discard all records beyond the durability boundary.
+  void SimulateCrash();
+
+  // Total bytes appended (the Table 1 "log space" metric).
+  uint64_t TotalBytesAppended() const;
+
+ private:
+  static constexpr Lsn kHeaderSize = 16;  // so that the first LSN != 0
+
+  Lsn AppendLocked(LogRecord* rec);
+  Status PersistLocked();        // append [file_synced_, tail) to the file
+  Status PersistMasterLocked();  // rewrite the sidecar master record
+
+  int fd_ = -1;                  // file-backed mode when >= 0
+  std::string path_;
+  Lsn file_synced_ = 0;          // LSN up to which the file is written
+
+  mutable std::mutex mu_;
+  std::string buf_;        // log bytes from trim_lsn_ on, preceded by header
+                           // padding; buf_[i] holds the byte at LSN
+                           // trim_base_ + i
+  Lsn trim_base_ = 0;      // LSN of buf_[0]
+  Lsn durable_lsn_;        // exclusive: bytes [0, durable_lsn_) are durable
+  Lsn master_ckpt_ = kInvalidLsn;
+  Lsn durable_master_ckpt_ = kInvalidLsn;  // value that survives a crash
+};
+
+}  // namespace oir
+
+#endif  // OIR_WAL_LOG_MANAGER_H_

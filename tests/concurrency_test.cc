@@ -1,0 +1,341 @@
+// Concurrency tests: the Section 2 protocols under real threads — mixed
+// insert/delete/scan workloads, concurrent structure modifications, and
+// OLTP running against a live online rebuild (the paper's headline
+// property).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/db.h"
+#include "core/index.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace oir {
+namespace {
+
+using test::MakeDb;
+using test::NumKey;
+
+TEST(ConcurrencyTest, ParallelInsertsDistinctRanges) {
+  auto db = MakeDb();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, t] {
+      auto txn = db->BeginTxn();
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t id = t * 1000000ull + i;
+        Status s = db->index()->Insert(txn.get(), NumKey(id), id);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  TreeStats stats;
+  ASSERT_OK(db->tree()->Validate(&stats));
+  EXPECT_EQ(stats.num_keys, kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, ParallelInsertsInterleavedKeys) {
+  auto db = MakeDb();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 800;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, t] {
+      auto txn = db->BeginTxn();
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t id = i * kThreads + t;  // adjacent keys from all threads
+        Status s = db->index()->Insert(txn.get(), NumKey(id), id);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  TreeStats stats;
+  ASSERT_OK(db->tree()->Validate(&stats));
+  EXPECT_EQ(stats.num_keys, kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, MixedInsertDeleteScan) {
+  auto db = MakeDb();
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 4000; ++i) base.push_back(i * 4);
+  test::InsertMany(db.get(), base);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scan_errors{0};
+
+  // Writers churn disjoint id spaces (insert then delete their own keys).
+  auto writer = [&](int t) {
+    Random rnd(t + 1);
+    while (!stop.load()) {
+      auto txn = db->BeginTxn();
+      uint64_t id = 100000ull * (t + 1) + rnd.Uniform(5000);
+      Status s = db->index()->Insert(txn.get(), NumKey(id), id);
+      if (s.ok()) {
+        s = db->index()->Delete(txn.get(), NumKey(id), id);
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      }
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+  // Scanners continuously verify the base keys remain visible in order.
+  auto scanner = [&] {
+    while (!stop.load()) {
+      auto txn = db->BeginTxn();
+      auto cur = db->index()->NewCursor(txn.get());
+      Status s = cur->SeekToFirst();
+      uint64_t prev = 0;
+      bool first = true;
+      uint64_t base_seen = 0;
+      while (s.ok() && cur->Valid()) {
+        uint64_t rid = cur->rid();
+        if (!first && rid <= prev) {
+          ++scan_errors;
+          break;
+        }
+        if (rid < 100000 && rid % 4 == 0) ++base_seen;
+        prev = rid;
+        first = false;
+        s = cur->Next();
+      }
+      if (!s.ok() || base_seen != 4000) ++scan_errors;
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(writer, t);
+  for (int t = 0; t < 2; ++t) threads.emplace_back(scanner);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(scan_errors.load(), 0);
+  TreeStats stats;
+  ASSERT_OK(db->tree()->Validate(&stats));
+  EXPECT_EQ(stats.num_keys, 4000u);
+}
+
+// The paper's headline property: OLTP keeps running during the rebuild,
+// and the rebuild neither loses keys nor breaks the tree.
+TEST(ConcurrencyTest, OltpDuringOnlineRebuild) {
+  auto db = MakeDb();
+  // Half-full declustered index worth rebuilding.
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 8000; ++i) base.push_back(i * 2);
+  test::InsertMany(db.get(), base);
+
+  std::atomic<bool> rebuild_done{false};
+  std::atomic<uint64_t> ops{0};
+  std::set<uint64_t> stable(base.begin(), base.end());
+
+  // Writers insert odd keys (never touched by the checker) and delete them.
+  auto writer = [&](int t) {
+    Random rnd(1000 + t);
+    while (!rebuild_done.load()) {
+      auto txn = db->BeginTxn();
+      uint64_t id = 1 + 2 * rnd.Uniform(8000);
+      Status s = db->index()->Insert(txn.get(), NumKey(id), id);
+      if (s.ok()) {
+        ++ops;
+        bool found = false;
+        EXPECT_TRUE(
+            db->index()->Lookup(txn.get(), NumKey(id), id, &found).ok());
+        EXPECT_TRUE(found);
+        EXPECT_TRUE(db->index()->Delete(txn.get(), NumKey(id), id).ok());
+      }
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+  auto reader = [&] {
+    Random rnd(7);
+    while (!rebuild_done.load()) {
+      auto txn = db->BeginTxn();
+      uint64_t id = 2 * rnd.Uniform(8000);
+      bool found = false;
+      Status s = db->index()->Lookup(txn.get(), NumKey(id), id, &found);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_TRUE(found) << "stable key " << id << " missing during rebuild";
+      ++ops;
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) threads.emplace_back(writer, t);
+  for (int t = 0; t < 3; ++t) threads.emplace_back(reader);
+
+  RebuildOptions opts;
+  opts.ntasize = 16;
+  opts.xactsize = 128;
+  RebuildResult res;
+  Status s = db->index()->RebuildOnline(opts, &res);
+  rebuild_done.store(true);
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(ops.load(), 100u);  // OLTP made progress during the rebuild
+
+  TreeStats stats;
+  ASSERT_OK(db->tree()->Validate(&stats));
+  EXPECT_EQ(stats.num_keys, stable.size());
+  test::ExpectTreeContains(db.get(), stable);
+}
+
+TEST(ConcurrencyTest, ScansDuringRebuildStayConsistent) {
+  auto db = MakeDb();
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 6000; ++i) base.push_back(i);
+  test::InsertMany(db.get(), base);
+
+  std::atomic<bool> rebuild_done{false};
+  std::atomic<int> errors{0};
+  auto scanner = [&] {
+    while (!rebuild_done.load()) {
+      auto txn = db->BeginTxn();
+      auto cur = db->index()->NewCursor(txn.get());
+      Status s = cur->SeekToFirst();
+      uint64_t count = 0;
+      uint64_t prev = 0;
+      bool first = true;
+      while (s.ok() && cur->Valid()) {
+        if (!first && cur->rid() <= prev) {
+          ++errors;
+          break;
+        }
+        prev = cur->rid();
+        first = false;
+        ++count;
+        s = cur->Next();
+      }
+      if (!s.ok() || count != base.size()) ++errors;
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(scanner);
+
+  RebuildResult res;
+  Status s = db->index()->RebuildOnline(RebuildOptions(), &res);
+  rebuild_done.store(true);
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(ConcurrencyTest, OfflineRebuildBlocksWriters) {
+  auto db = MakeDb();
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 2000; ++i) base.push_back(i * 2);
+  test::InsertMany(db.get(), base);
+
+  // A writer that records when it managed to run.
+  std::atomic<bool> start_writer{false};
+  std::atomic<bool> writer_finished{false};
+  std::thread writer([&] {
+    while (!start_writer.load()) std::this_thread::yield();
+    auto txn = db->BeginTxn();
+    EXPECT_TRUE(db->index()->Insert(txn.get(), NumKey(999999), 999999).ok());
+    EXPECT_TRUE(db->Commit(txn.get()).ok());
+    writer_finished.store(true);
+  });
+
+  RebuildResult res;
+  start_writer.store(true);
+  ASSERT_OK(db->index()->RebuildOffline(&res));
+  writer.join();
+  EXPECT_TRUE(writer_finished.load());
+  TreeStats stats;
+  ASSERT_OK(db->tree()->Validate(&stats));
+  EXPECT_EQ(stats.num_keys, base.size() + 1);
+}
+
+TEST(ConcurrencyTest, ConcurrentRebuildAndHeavyInsertLoadIntoSameRange) {
+  // Inserts target the same key space the rebuild is walking through —
+  // maximal interaction between the copy phase locks and writer traversals.
+  auto db = MakeDb();
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 4000; ++i) base.push_back(i * 10);
+  test::InsertMany(db.get(), base);
+
+  std::atomic<bool> rebuild_done{false};
+  std::atomic<uint64_t> inserted{0};
+  std::vector<std::vector<uint64_t>> added(4);
+  auto writer = [&](int t) {
+    Random rnd(t * 31 + 5);
+    while (!rebuild_done.load()) {
+      auto txn = db->BeginTxn();
+      uint64_t id = rnd.Uniform(40000);
+      if (id % 10 == 0) id += 1;  // avoid colliding with base ids
+      Status s = db->index()->Insert(txn.get(), NumKey(id), id);
+      if (s.ok()) {
+        added[t].push_back(id);
+        ++inserted;
+      } else {
+        EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();  // duplicate
+      }
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(writer, t);
+
+  RebuildOptions opts;
+  opts.ntasize = 8;
+  opts.xactsize = 64;
+  RebuildResult res;
+  Status s = db->index()->RebuildOnline(opts, &res);
+  rebuild_done.store(true);
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  std::set<uint64_t> expect(base.begin(), base.end());
+  for (auto& v : added) expect.insert(v.begin(), v.end());
+  TreeStats stats;
+  ASSERT_OK(db->tree()->Validate(&stats));
+  EXPECT_EQ(stats.num_keys, expect.size());
+  test::ExpectTreeContains(db.get(), expect);
+}
+
+TEST(ConcurrencyTest, BackToBackRebuildsUnderLoad) {
+  auto db = MakeDb();
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 3000; ++i) base.push_back(i * 4);
+  test::InsertMany(db.get(), base);
+
+  std::atomic<bool> stop{false};
+  auto writer = [&](int t) {
+    Random rnd(t);
+    while (!stop.load()) {
+      auto txn = db->BeginTxn();
+      uint64_t id = 2 + 4 * rnd.Uniform(3000);  // ids ≡ 2 mod 4
+      Status s = db->index()->Insert(txn.get(), NumKey(id), id);
+      if (s.ok()) {
+        EXPECT_TRUE(db->index()->Delete(txn.get(), NumKey(id), id).ok());
+      }
+      EXPECT_TRUE(db->Commit(txn.get()).ok());
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) threads.emplace_back(writer, t);
+  for (int round = 0; round < 3; ++round) {
+    RebuildOptions opts;
+    opts.ntasize = 4 << round;
+    RebuildResult res;
+    Status s = db->index()->RebuildOnline(opts, &res);
+    ASSERT_TRUE(s.ok()) << "round " << round << ": " << s.ToString();
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  test::ExpectTreeContains(db.get(),
+                           std::set<uint64_t>(base.begin(), base.end()));
+}
+
+}  // namespace
+}  // namespace oir

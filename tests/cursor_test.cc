@@ -1,0 +1,151 @@
+// Cursor (range scan) tests — Section 2.5 semantics: latch released between
+// rows, repositioning by key when pages change, shrink/rebuild interplay.
+
+#include "btree/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/db.h"
+#include "core/index.h"
+#include "tests/test_util.h"
+
+namespace oir {
+namespace {
+
+using test::MakeDb;
+using test::NumKey;
+
+TEST(CursorTest, FullScanInOrder) {
+  auto db = MakeDb();
+  std::vector<uint64_t> ids(1000);
+  for (uint64_t i = 0; i < ids.size(); ++i) ids[i] = i * 3;
+  test::InsertMany(db.get(), ids);
+  auto rows = test::ScanAll(db.get());
+  ASSERT_EQ(rows.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(rows[i].second, ids[i]);
+  }
+}
+
+TEST(CursorTest, SeekPositionsAtLowerBound) {
+  auto db = MakeDb();
+  test::InsertMany(db.get(), {10, 20, 30, 40});
+  auto txn = db->BeginTxn();
+  auto cur = db->index()->NewCursor(txn.get());
+  ASSERT_OK(cur->Seek(NumKey(20)));
+  ASSERT_TRUE(cur->Valid());
+  EXPECT_EQ(cur->rid(), 20u);
+  ASSERT_OK(cur->Seek(NumKey(25)));
+  ASSERT_TRUE(cur->Valid());
+  EXPECT_EQ(cur->rid(), 30u);
+  ASSERT_OK(cur->Seek(NumKey(99)));
+  EXPECT_FALSE(cur->Valid());
+  ASSERT_OK(db->Commit(txn.get()));
+}
+
+TEST(CursorTest, SeekOnEmptyIndex) {
+  auto db = MakeDb();
+  auto txn = db->BeginTxn();
+  auto cur = db->index()->NewCursor(txn.get());
+  ASSERT_OK(cur->Seek("anything"));
+  EXPECT_FALSE(cur->Valid());
+  ASSERT_OK(db->Commit(txn.get()));
+}
+
+TEST(CursorTest, SurvivesConcurrentMutationOfCurrentPage) {
+  auto db = MakeDb();
+  std::vector<uint64_t> ids;
+  for (uint64_t i = 0; i < 500; ++i) ids.push_back(i * 10);
+  test::InsertMany(db.get(), ids);
+
+  auto txn = db->BeginTxn();
+  auto cur = db->index()->NewCursor(txn.get());
+  ASSERT_OK(cur->SeekToFirst());
+  // Read half the rows, then mutate the index from another transaction,
+  // then continue: the cursor must reposition by key without missing or
+  // duplicating the untouched rows.
+  std::vector<uint64_t> seen;
+  for (int i = 0; i < 250 && cur->Valid(); ++i) {
+    seen.push_back(cur->rid());
+    ASSERT_OK(cur->Next());
+  }
+  {
+    auto mut = db->BeginTxn();
+    // Insert keys behind AND ahead of the cursor; delete some rows ahead.
+    ASSERT_OK(db->index()->Insert(mut.get(), NumKey(5), 5));
+    ASSERT_OK(db->index()->Insert(mut.get(), NumKey(4905), 4905));
+    ASSERT_OK(db->index()->Delete(mut.get(), NumKey(3000), 3000));
+    ASSERT_OK(db->Commit(mut.get()));
+  }
+  while (cur->Valid()) {
+    seen.push_back(cur->rid());
+    ASSERT_OK(cur->Next());
+  }
+  ASSERT_OK(db->Commit(txn.get()));
+  // Expected: all original even-ten ids except 3000 (deleted ahead of the
+  // cursor), plus 4905 (inserted ahead); 5 was behind the cursor.
+  std::vector<uint64_t> expect;
+  for (uint64_t i = 0; i < 500; ++i) {
+    uint64_t v = i * 10;
+    if (v == 3000) continue;
+    expect.push_back(v);
+    if (v == 4900) expect.push_back(4905);
+  }
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(CursorTest, ScanDuringRebuildSeesAllRows) {
+  auto db = MakeDb();
+  std::vector<uint64_t> ids;
+  for (uint64_t i = 0; i < 3000; ++i) ids.push_back(i);
+  test::InsertMany(db.get(), ids);
+
+  // Start scanning, rebuild mid-scan, finish scanning.
+  auto txn = db->BeginTxn();
+  auto cur = db->index()->NewCursor(txn.get());
+  ASSERT_OK(cur->SeekToFirst());
+  std::vector<uint64_t> seen;
+  for (int i = 0; i < 1000 && cur->Valid(); ++i) {
+    seen.push_back(cur->rid());
+    ASSERT_OK(cur->Next());
+  }
+  RebuildResult res;
+  ASSERT_OK(db->index()->RebuildOnline(RebuildOptions(), &res));
+  while (cur->Valid()) {
+    seen.push_back(cur->rid());
+    ASSERT_OK(cur->Next());
+  }
+  ASSERT_OK(db->Commit(txn.get()));
+  ASSERT_EQ(seen.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(seen[i], ids[i]);
+}
+
+TEST(CursorTest, PagesVisitedDropsAfterRebuild) {
+  auto db = MakeDb();
+  // Half-empty pages: a range scan touches ~2x the pages it needs.
+  std::vector<uint64_t> all;
+  for (uint64_t i = 0; i < 4000; ++i) all.push_back(i);
+  test::InsertMany(db.get(), all);
+  std::vector<uint64_t> odd;
+  for (uint64_t i = 1; i < 4000; i += 2) odd.push_back(i);
+  test::DeleteMany(db.get(), odd);
+
+  auto count_pages = [&]() {
+    auto txn = db->BeginTxn();
+    auto cur = db->index()->NewCursor(txn.get());
+    EXPECT_OK(cur->SeekToFirst());
+    while (cur->Valid()) {
+      EXPECT_OK(cur->Next());
+    }
+    EXPECT_OK(db->Commit(txn.get()));
+    return cur->pages_visited();
+  };
+  uint64_t before = count_pages();
+  RebuildResult res;
+  ASSERT_OK(db->index()->RebuildOnline(RebuildOptions(), &res));
+  uint64_t after = count_pages();
+  EXPECT_LT(after * 3, before * 2);  // at least 1.5x fewer pages
+}
+
+}  // namespace
+}  // namespace oir

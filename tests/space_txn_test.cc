@@ -1,0 +1,221 @@
+// Space manager and transaction manager tests: the three-state page
+// lifecycle of Section 4.1.3, chunk allocation, alloc/dealloc undo, commit
+// and abort behaviour, nested-top-action survival.
+
+#include <gtest/gtest.h>
+
+#include "space/space_manager.h"
+#include "tests/test_util.h"
+#include "txn/transaction_manager.h"
+
+namespace oir {
+namespace {
+
+using test::MakeDb;
+using test::NumKey;
+
+class SpaceTest : public ::testing::Test {
+ protected:
+  SpaceTest()
+      : disk_(512, 8), log_(), space_(&disk_, &log_, kFirstDataPageId) {
+    ctx_.txn_id = 1;
+  }
+  MemDisk disk_;
+  LogManager log_;
+  SpaceManager space_;
+  TxnContext ctx_;
+};
+
+TEST_F(SpaceTest, LifecycleStates) {
+  PageId p;
+  ASSERT_OK(space_.Allocate(&ctx_, &p));
+  EXPECT_EQ(space_.GetState(p), PageState::kAllocated);
+  ASSERT_OK(space_.Deallocate(&ctx_, p));
+  EXPECT_EQ(space_.GetState(p), PageState::kDeallocated);
+  space_.Free(p);
+  EXPECT_EQ(space_.GetState(p), PageState::kFree);
+}
+
+TEST_F(SpaceTest, AllocationIsLogged) {
+  PageId p;
+  ASSERT_OK(space_.Allocate(&ctx_, &p));
+  ASSERT_OK(space_.Deallocate(&ctx_, p));
+  int allocs = 0, deallocs = 0;
+  for (auto it = log_.Scan(log_.head_lsn()); it.Valid(); it.Next()) {
+    if (it.record().type == LogType::kAlloc) ++allocs;
+    if (it.record().type == LogType::kDealloc) ++deallocs;
+  }
+  EXPECT_EQ(allocs, 1);
+  EXPECT_EQ(deallocs, 1);
+}
+
+TEST_F(SpaceTest, ChunkAllocationIsContiguous) {
+  std::vector<PageId> pages;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 10, &pages));
+  ASSERT_EQ(pages.size(), 10u);
+  for (size_t i = 1; i < pages.size(); ++i) {
+    EXPECT_EQ(pages[i], pages[i - 1] + 1);
+  }
+  // Disk grew to cover the chunk.
+  EXPECT_GE(disk_.NumPages(), pages.back() + 1);
+}
+
+TEST_F(SpaceTest, FreedRunsAreReusedForChunks) {
+  std::vector<PageId> first;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 8, &first));
+  for (PageId p : first) ASSERT_OK(space_.Deallocate(&ctx_, p));
+  for (PageId p : first) space_.Free(p);
+  std::vector<PageId> second;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 8, &second));
+  EXPECT_EQ(second, first);  // the contiguous freed run is found again
+}
+
+TEST_F(SpaceTest, FragmentedFreeSpaceSkippedForChunks) {
+  std::vector<PageId> pages;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 8, &pages));
+  // Free every other page: no run of 3 exists below the high-water mark.
+  for (size_t i = 0; i < pages.size(); i += 2) {
+    ASSERT_OK(space_.Deallocate(&ctx_, pages[i]));
+    space_.Free(pages[i]);
+  }
+  std::vector<PageId> chunk;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 3, &chunk));
+  EXPECT_GT(chunk[0], pages.back());  // extended instead of fragmenting
+}
+
+TEST_F(SpaceTest, UndoHooks) {
+  PageId p;
+  ASSERT_OK(space_.Allocate(&ctx_, &p));
+  space_.UndoAlloc(p);
+  EXPECT_EQ(space_.GetState(p), PageState::kFree);
+  ASSERT_OK(space_.Allocate(&ctx_, &p));
+  ASSERT_OK(space_.Deallocate(&ctx_, p));
+  space_.UndoDealloc(p);
+  EXPECT_EQ(space_.GetState(p), PageState::kAllocated);
+}
+
+TEST_F(SpaceTest, CountAndListByState) {
+  std::vector<PageId> pages;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 5, &pages));
+  ASSERT_OK(space_.Deallocate(&ctx_, pages[0]));
+  ASSERT_OK(space_.Deallocate(&ctx_, pages[1]));
+  EXPECT_EQ(space_.CountInState(PageState::kAllocated), 3u);
+  EXPECT_EQ(space_.CountInState(PageState::kDeallocated), 2u);
+  auto dealloc = space_.PagesInState(PageState::kDeallocated);
+  EXPECT_EQ(dealloc.size(), 2u);
+}
+
+TEST_F(SpaceTest, FreeAllDeallocatedForRecovery) {
+  std::vector<PageId> pages;
+  ASSERT_OK(space_.AllocateChunk(&ctx_, 4, &pages));
+  ASSERT_OK(space_.Deallocate(&ctx_, pages[1]));
+  ASSERT_OK(space_.Deallocate(&ctx_, pages[3]));
+  auto freed = space_.FreeAllDeallocated();
+  EXPECT_EQ(freed.size(), 2u);
+  EXPECT_EQ(space_.CountInState(PageState::kDeallocated), 0u);
+  EXPECT_EQ(space_.GetState(pages[1]), PageState::kFree);
+}
+
+// ------------------------------------------------------------ transactions
+
+TEST(TxnTest, CommitForcesLog) {
+  auto db = MakeDb();
+  auto txn = db->BeginTxn();
+  ASSERT_OK(db->index()->Insert(txn.get(), "k", 1));
+  Lsn before = db->log_manager()->durable_lsn();
+  ASSERT_OK(db->Commit(txn.get()));
+  EXPECT_GT(db->log_manager()->durable_lsn(), before);
+  EXPECT_EQ(txn->state(), TxnState::kCommitted);
+}
+
+TEST(TxnTest, AbortReleasesLogicalLocks) {
+  auto db = MakeDb();
+  auto t1 = db->BeginTxn();
+  ASSERT_OK(db->index()->Insert(t1.get(), "k", 7));
+  // t2 conflicts on the row lock until t1 finishes.
+  auto t2 = db->BeginTxn();
+  EXPECT_TRUE(db->lock_manager()
+                  ->Lock(t2->id(), LogicalLockKey(7), LockMode::kX, true)
+                  .IsBusy());
+  ASSERT_OK(db->Abort(t1.get()));
+  ASSERT_OK(db->lock_manager()->Lock(t2->id(), LogicalLockKey(7),
+                                     LockMode::kX, true));
+  db->lock_manager()->Unlock(t2->id(), LogicalLockKey(7));
+  ASSERT_OK(db->Commit(t2.get()));
+}
+
+TEST(TxnTest, TxnIdsMonotonic) {
+  auto db = MakeDb();
+  auto a = db->BeginTxn();
+  auto b = db->BeginTxn();
+  EXPECT_LT(a->id(), b->id());
+  ASSERT_OK(db->Commit(a.get()));
+  ASSERT_OK(db->Commit(b.get()));
+}
+
+TEST(TxnTest, ActiveCountTracksLifecycle) {
+  auto db = MakeDb();
+  EXPECT_EQ(db->txn_manager()->NumActive(), 0u);
+  auto a = db->BeginTxn();
+  auto b = db->BeginTxn();
+  EXPECT_EQ(db->txn_manager()->NumActive(), 2u);
+  ASSERT_OK(db->Commit(a.get()));
+  ASSERT_OK(db->Abort(b.get()));
+  EXPECT_EQ(db->txn_manager()->NumActive(), 0u);
+}
+
+TEST(TxnTest, AbortOfReadOnlyTxnIsCheap) {
+  auto db = MakeDb();
+  test::InsertMany(db.get(), {1, 2, 3});
+  auto txn = db->BeginTxn();
+  bool found;
+  ASSERT_OK(db->index()->Lookup(txn.get(), NumKey(1), 1, &found));
+  ASSERT_OK(db->Abort(txn.get()));
+  test::ExpectTreeContains(db.get(), {1, 2, 3});
+}
+
+TEST(TxnTest, MixedCommitAbortInterleaving) {
+  auto db = MakeDb();
+  auto keep = db->BeginTxn();
+  auto drop = db->BeginTxn();
+  for (uint64_t i = 0; i < 300; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_OK(db->index()->Insert(keep.get(), NumKey(i), i));
+    } else {
+      ASSERT_OK(db->index()->Insert(drop.get(), NumKey(i), i));
+    }
+  }
+  ASSERT_OK(db->Abort(drop.get()));
+  ASSERT_OK(db->Commit(keep.get()));
+  std::set<uint64_t> expect;
+  for (uint64_t i = 0; i < 300; i += 2) expect.insert(i);
+  test::ExpectTreeContains(db.get(), expect);
+}
+
+TEST(TxnTest, CompletedNtaSurvivesAbortEvenAfterMoreWork) {
+  auto db = MakeDb();
+  // Fill one leaf exactly to the brink, in a committed txn.
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 80; ++i) base.push_back(i * 2);
+  test::InsertMany(db.get(), base);
+  TreeStats before;
+  ASSERT_OK(db->tree()->Validate(&before));
+
+  // This txn triggers splits (NTAs) and then aborts.
+  auto txn = db->BeginTxn();
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_OK(db->index()->Insert(txn.get(), NumKey(1000 + i), 1000 + i));
+  }
+  ASSERT_OK(db->Abort(txn.get()));
+
+  TreeStats after;
+  ASSERT_OK(db->tree()->Validate(&after));
+  // Keys are gone; the split pages may remain (top actions are not undone).
+  EXPECT_EQ(after.num_keys, base.size());
+  EXPECT_GE(after.num_leaf_pages, before.num_leaf_pages);
+  test::ExpectTreeContains(db.get(),
+                           std::set<uint64_t>(base.begin(), base.end()));
+}
+
+}  // namespace
+}  // namespace oir
