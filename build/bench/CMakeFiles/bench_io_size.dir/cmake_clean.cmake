@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_size.dir/bench_io_size.cc.o"
+  "CMakeFiles/bench_io_size.dir/bench_io_size.cc.o.d"
+  "bench_io_size"
+  "bench_io_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

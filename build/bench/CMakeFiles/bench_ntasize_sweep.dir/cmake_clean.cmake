@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntasize_sweep.dir/bench_ntasize_sweep.cc.o"
+  "CMakeFiles/bench_ntasize_sweep.dir/bench_ntasize_sweep.cc.o.d"
+  "bench_ntasize_sweep"
+  "bench_ntasize_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntasize_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

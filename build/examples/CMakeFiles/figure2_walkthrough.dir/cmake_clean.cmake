@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_walkthrough.dir/figure2_walkthrough.cpp.o"
+  "CMakeFiles/figure2_walkthrough.dir/figure2_walkthrough.cpp.o.d"
+  "figure2_walkthrough"
+  "figure2_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

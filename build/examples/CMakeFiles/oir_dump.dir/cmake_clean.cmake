@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_dump.dir/oir_dump.cpp.o"
+  "CMakeFiles/oir_dump.dir/oir_dump.cpp.o.d"
+  "oir_dump"
+  "oir_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_while_rebuild.dir/oltp_while_rebuild.cpp.o"
+  "CMakeFiles/oltp_while_rebuild.dir/oltp_while_rebuild.cpp.o.d"
+  "oltp_while_rebuild"
+  "oltp_while_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_while_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

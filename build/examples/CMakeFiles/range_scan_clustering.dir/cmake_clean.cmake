@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_scan_clustering.dir/range_scan_clustering.cpp.o"
+  "CMakeFiles/range_scan_clustering.dir/range_scan_clustering.cpp.o.d"
+  "range_scan_clustering"
+  "range_scan_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_scan_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

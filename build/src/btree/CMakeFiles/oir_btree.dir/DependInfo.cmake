@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/btree/CMakeFiles/oir_btree.dir/btree.cc.o" "gcc" "src/btree/CMakeFiles/oir_btree.dir/btree.cc.o.d"
+  "/root/repo/src/btree/btree_inspect.cc" "src/btree/CMakeFiles/oir_btree.dir/btree_inspect.cc.o" "gcc" "src/btree/CMakeFiles/oir_btree.dir/btree_inspect.cc.o.d"
+  "/root/repo/src/btree/btree_smo.cc" "src/btree/CMakeFiles/oir_btree.dir/btree_smo.cc.o" "gcc" "src/btree/CMakeFiles/oir_btree.dir/btree_smo.cc.o.d"
+  "/root/repo/src/btree/cursor.cc" "src/btree/CMakeFiles/oir_btree.dir/cursor.cc.o" "gcc" "src/btree/CMakeFiles/oir_btree.dir/cursor.cc.o.d"
+  "/root/repo/src/btree/key.cc" "src/btree/CMakeFiles/oir_btree.dir/key.cc.o" "gcc" "src/btree/CMakeFiles/oir_btree.dir/key.cc.o.d"
+  "/root/repo/src/btree/node.cc" "src/btree/CMakeFiles/oir_btree.dir/node.cc.o" "gcc" "src/btree/CMakeFiles/oir_btree.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recovery/CMakeFiles/oir_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/oir_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/oir_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/oir_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/oir_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oir_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

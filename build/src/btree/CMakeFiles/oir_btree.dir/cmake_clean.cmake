@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_btree.dir/btree.cc.o"
+  "CMakeFiles/oir_btree.dir/btree.cc.o.d"
+  "CMakeFiles/oir_btree.dir/btree_inspect.cc.o"
+  "CMakeFiles/oir_btree.dir/btree_inspect.cc.o.d"
+  "CMakeFiles/oir_btree.dir/btree_smo.cc.o"
+  "CMakeFiles/oir_btree.dir/btree_smo.cc.o.d"
+  "CMakeFiles/oir_btree.dir/cursor.cc.o"
+  "CMakeFiles/oir_btree.dir/cursor.cc.o.d"
+  "CMakeFiles/oir_btree.dir/key.cc.o"
+  "CMakeFiles/oir_btree.dir/key.cc.o.d"
+  "CMakeFiles/oir_btree.dir/node.cc.o"
+  "CMakeFiles/oir_btree.dir/node.cc.o.d"
+  "liboir_btree.a"
+  "liboir_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

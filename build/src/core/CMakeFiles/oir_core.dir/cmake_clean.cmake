@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_core.dir/db.cc.o"
+  "CMakeFiles/oir_core.dir/db.cc.o.d"
+  "CMakeFiles/oir_core.dir/index.cc.o"
+  "CMakeFiles/oir_core.dir/index.cc.o.d"
+  "CMakeFiles/oir_core.dir/rebuild.cc.o"
+  "CMakeFiles/oir_core.dir/rebuild.cc.o.d"
+  "liboir_core.a"
+  "liboir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboir_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_recovery.dir/log_apply.cc.o"
+  "CMakeFiles/oir_recovery.dir/log_apply.cc.o.d"
+  "CMakeFiles/oir_recovery.dir/recovery.cc.o"
+  "CMakeFiles/oir_recovery.dir/recovery.cc.o.d"
+  "liboir_recovery.a"
+  "liboir_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_space.dir/space_manager.cc.o"
+  "CMakeFiles/oir_space.dir/space_manager.cc.o.d"
+  "liboir_space.a"
+  "liboir_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/oir_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/oir_storage.dir/disk.cc.o"
+  "CMakeFiles/oir_storage.dir/disk.cc.o.d"
+  "CMakeFiles/oir_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/oir_storage.dir/slotted_page.cc.o.d"
+  "liboir_storage.a"
+  "liboir_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_sync.dir/lock_manager.cc.o"
+  "CMakeFiles/oir_sync.dir/lock_manager.cc.o.d"
+  "liboir_sync.a"
+  "liboir_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

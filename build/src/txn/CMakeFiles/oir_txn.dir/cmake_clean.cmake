@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_txn.dir/transaction_manager.cc.o"
+  "CMakeFiles/oir_txn.dir/transaction_manager.cc.o.d"
+  "liboir_txn.a"
+  "liboir_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

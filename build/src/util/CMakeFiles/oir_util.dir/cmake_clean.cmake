@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_util.dir/clock.cc.o"
+  "CMakeFiles/oir_util.dir/clock.cc.o.d"
+  "CMakeFiles/oir_util.dir/coding.cc.o"
+  "CMakeFiles/oir_util.dir/coding.cc.o.d"
+  "CMakeFiles/oir_util.dir/counters.cc.o"
+  "CMakeFiles/oir_util.dir/counters.cc.o.d"
+  "CMakeFiles/oir_util.dir/crc32c.cc.o"
+  "CMakeFiles/oir_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/oir_util.dir/histogram.cc.o"
+  "CMakeFiles/oir_util.dir/histogram.cc.o.d"
+  "CMakeFiles/oir_util.dir/status.cc.o"
+  "CMakeFiles/oir_util.dir/status.cc.o.d"
+  "liboir_util.a"
+  "liboir_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oir_wal.dir/log_manager.cc.o"
+  "CMakeFiles/oir_wal.dir/log_manager.cc.o.d"
+  "CMakeFiles/oir_wal.dir/log_record.cc.o"
+  "CMakeFiles/oir_wal.dir/log_record.cc.o.d"
+  "liboir_wal.a"
+  "liboir_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oir_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

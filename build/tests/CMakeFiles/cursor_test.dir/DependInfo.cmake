@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cursor_test.cc" "tests/CMakeFiles/cursor_test.dir/cursor_test.cc.o" "gcc" "tests/CMakeFiles/cursor_test.dir/cursor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/oir_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/oir_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/oir_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/oir_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/oir_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/oir_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/oir_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_apply_test.dir/log_apply_test.cc.o"
+  "CMakeFiles/log_apply_test.dir/log_apply_test.cc.o.d"
+  "log_apply_test"
+  "log_apply_test.pdb"
+  "log_apply_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_apply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

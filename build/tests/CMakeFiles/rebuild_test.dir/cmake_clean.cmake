@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebuild_test.dir/rebuild_test.cc.o"
+  "CMakeFiles/rebuild_test.dir/rebuild_test.cc.o.d"
+  "rebuild_test"
+  "rebuild_test.pdb"
+  "rebuild_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_txn_test.dir/space_txn_test.cc.o"
+  "CMakeFiles/space_txn_test.dir/space_txn_test.cc.o.d"
+  "space_txn_test"
+  "space_txn_test.pdb"
+  "space_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
