@@ -10,6 +10,7 @@
 
 #include "core/db.h"
 #include "core/index.h"
+#include "util/counters.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -40,15 +41,44 @@ inline std::string BenchKey(uint64_t n, int key_size) {
   return NumKey(n, 12) + std::string(key_size - 12, 'p');
 }
 
+inline std::unique_ptr<Db> OpenDbOpts(const DbOptions& opts) {
+  std::unique_ptr<Db> db;
+  Status s = Db::Open(opts, &db);
+  OIR_CHECK(s.ok());
+  return db;
+}
+
 inline std::unique_ptr<Db> OpenDb(uint32_t page_size = kDefaultPageSize,
                                   size_t pool_pages = 1 << 15) {
   DbOptions opts;
   opts.page_size = page_size;
   opts.buffer_pool_pages = pool_pages;
-  std::unique_ptr<Db> db;
-  Status s = Db::Open(opts, &db);
-  OIR_CHECK(s.ok());
-  return db;
+  return OpenDbOpts(opts);
+}
+
+// Mean commit-group size: FlushTo calls covered per physical (or, for the
+// in-memory log, logical) fsync. 1.0 means no batching happened.
+inline double MeanGroupSize(const CounterSnapshot& d) {
+  return d.log_fsyncs == 0
+             ? 0.0
+             : static_cast<double>(d.log_flush_calls) / d.log_fsyncs;
+}
+
+// Prints the I/O-path counters for a measured region: buffer-pool traffic
+// and the WAL flush/fsync ratio.
+inline void PrintIoPathCounters(const CounterSnapshot& d) {
+  const uint64_t lookups = d.pool_hits + d.pool_misses;
+  std::printf("  pool: %llu hits / %llu misses (%.1f%% hit), "
+              "%llu evictions, %llu write-backs, %llu prefetched\n",
+              (unsigned long long)d.pool_hits,
+              (unsigned long long)d.pool_misses,
+              lookups == 0 ? 0.0 : 100.0 * d.pool_hits / lookups,
+              (unsigned long long)d.pool_evictions,
+              (unsigned long long)d.pool_writebacks,
+              (unsigned long long)d.pool_prefetched);
+  std::printf("  wal:  %llu flush calls, %llu fsyncs (mean group %.1f)\n",
+              (unsigned long long)d.log_flush_calls,
+              (unsigned long long)d.log_fsyncs, MeanGroupSize(d));
 }
 
 // Builds the paper's Table 1 workload: an index at ~50% space utilization

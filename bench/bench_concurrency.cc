@@ -10,8 +10,14 @@
 // Also reported: per-operation p99 latency inside the window (the offline
 // case shows rebuild-length stalls) and traversals blocked on SPLIT/SHRINK
 // bits.
+//
+// The I/O-path sweep then re-runs the online scenario while varying one
+// knob at a time — buffer-pool shard count, WAL group commit, rebuild
+// read-ahead — and records every window in BENCH_io_path.json together
+// with the pool and WAL counters captured inside it.
 
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -23,17 +29,50 @@
 namespace oir::bench {
 namespace {
 
+// One knob configuration for a scenario. The WAL is the bench default
+// (in-memory, synchronous flush) unless file_wal or force_group_commit
+// says otherwise.
+struct Config {
+  std::string name;
+  size_t shards = 0;        // DbOptions::buffer_pool_shards; 0 = auto
+  bool prefetch = true;     // RebuildOptions::prefetch
+  bool file_wal = false;    // back the WAL with a file (real fsyncs)
+  bool group_commit = true; // file WAL: batch commits on the flusher thread
+  bool force_group_commit = false;  // in-memory WAL: force the flusher on
+
+  const char* WalLabel() const {
+    if (file_wal) return group_commit ? "file-group" : "file-sync";
+    return force_group_commit ? "mem-group" : "mem-sync";
+  }
+};
+
 struct WindowResult {
   uint64_t ops_in_window = 0;
   uint64_t window_ms = 0;
   uint64_t blocked = 0;
   double p99_ms = 0;
   double max_ms = 0;
+  uint64_t shards = 0;  // effective shard count of the pool
+  CounterSnapshot counters;  // delta inside the window
+
+  double OpsPerSec() const {
+    return window_ms == 0 ? 0.0 : ops_in_window * 1000.0 / window_ms;
+  }
 };
 
-WindowResult RunScenario(uint64_t n, int oltp_threads, int mode,
-                         uint64_t baseline_window_ms) {
-  auto db = OpenDb();
+constexpr char kFileWalPath[] = "/tmp/oir_bench_concurrency_wal.log";
+
+WindowResult RunScenario(const Config& cfg, uint64_t n, int oltp_threads,
+                         int mode, uint64_t baseline_window_ms) {
+  DbOptions dopts;
+  dopts.buffer_pool_pages = 1 << 15;
+  dopts.buffer_pool_shards = cfg.shards;
+  if (cfg.file_wal) {
+    dopts.log_path = kFileWalPath;
+    dopts.wal_group_commit = cfg.group_commit;
+  }
+  auto db = OpenDbOpts(dopts);
+  if (cfg.force_group_commit) db->log_manager()->SetGroupCommit(true);
   BuildHalfUtilizedIndex(db.get(), n, 12);
 
   std::atomic<bool> stop{false};
@@ -77,6 +116,7 @@ WindowResult RunScenario(uint64_t n, int oltp_threads, int mode,
 
   if (mode == 1) {
     RebuildOptions opts;
+    opts.prefetch = cfg.prefetch;
     RebuildResult res;
     Status rs = db->index()->RebuildOnline(opts, &res);
     if (!rs.ok()) {
@@ -100,55 +140,182 @@ WindowResult RunScenario(uint64_t n, int oltp_threads, int mode,
   WindowResult r;
   r.window_ms = (NowNanos() - t0) / 1000000;
   r.ops_in_window = ops.load() - ops0;
-  r.blocked =
-      (GlobalCounters::Get().Snapshot() - counters0).blocked_traversals;
+  r.counters = GlobalCounters::Get().Snapshot() - counters0;
+  r.blocked = r.counters.blocked_traversals;
   r.p99_ms = latency.Percentile(99) / 1000.0;
   r.max_ms = latency.Max() / 1000.0;
+  r.shards = db->buffer_manager()->num_shards();
   stop.store(true);
   for (auto& t : threads) t.join();
+  if (cfg.file_wal) {
+    db.reset();  // close the log fd before unlinking
+    std::remove(kFileWalPath);
+    std::remove((std::string(kFileWalPath) + ".master").c_str());
+  }
   return r;
+}
+
+void PrintRow(const char* name, const WindowResult& r) {
+  std::printf("%-14s %10llu %10llu %12.0f %10.2f %10.2f %12llu\n", name,
+              (unsigned long long)r.window_ms,
+              (unsigned long long)r.ops_in_window, r.OpsPerSec(), r.p99_ms,
+              r.max_ms, (unsigned long long)r.blocked);
+}
+
+void WriteJsonScenario(std::FILE* f, const char* scenario_mode,
+                       const Config& cfg, const WindowResult& r,
+                       bool last) {
+  const CounterSnapshot& d = r.counters;
+  std::fprintf(
+      f,
+      "    {\"name\": \"%s\", \"mode\": \"%s\", \"shards\": %llu, "
+      "\"prefetch\": %s, \"wal\": \"%s\",\n"
+      "     \"window_ms\": %llu, \"ops\": %llu, \"ops_per_sec\": %.0f, "
+      "\"p99_ms\": %.2f, \"max_ms\": %.2f, \"blocked_traversals\": %llu,\n"
+      "     \"pool_hits\": %llu, \"pool_misses\": %llu, "
+      "\"pool_evictions\": %llu, \"pool_writebacks\": %llu, "
+      "\"pool_prefetched\": %llu,\n"
+      "     \"log_flush_calls\": %llu, \"log_fsyncs\": %llu, "
+      "\"mean_group_size\": %.2f}%s\n",
+      cfg.name.c_str(), scenario_mode, (unsigned long long)r.shards,
+      cfg.prefetch ? "true" : "false", cfg.WalLabel(),
+      (unsigned long long)r.window_ms, (unsigned long long)r.ops_in_window,
+      r.OpsPerSec(), r.p99_ms, r.max_ms, (unsigned long long)r.blocked,
+      (unsigned long long)d.pool_hits, (unsigned long long)d.pool_misses,
+      (unsigned long long)d.pool_evictions,
+      (unsigned long long)d.pool_writebacks,
+      (unsigned long long)d.pool_prefetched,
+      (unsigned long long)d.log_flush_calls,
+      (unsigned long long)d.log_fsyncs, MeanGroupSize(d), last ? "" : ",");
 }
 
 int Main(int argc, char** argv) {
   uint64_t n = 400000;
+  int kThreads = 4;
+  std::string json_path = "BENCH_io_path.json";
+  bool sweep = true;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") n = 100000;
+    std::string arg = argv[i];
+    if (arg == "--quick") n = 100000;
+    if (arg == "--no-sweep") sweep = false;
+    if (arg == "--threads" && i + 1 < argc) kThreads = std::atoi(argv[i + 1]);
+    if (arg == "--json" && i + 1 < argc) json_path = argv[i + 1];
   }
-  const int kThreads = 4;
   std::printf("OLTP throughput inside the rebuild window (Section 6.2)\n");
   std::printf("(%d OLTP threads, %llu keys, ~50%% utilized index)\n\n",
               kThreads, (unsigned long long)n);
-  std::printf("%-10s %10s %10s %12s %10s %10s %12s\n", "scenario",
+  std::printf("%-14s %10s %10s %12s %10s %10s %12s\n", "scenario",
               "window-ms", "ops", "ops/sec", "p99-ms", "max-ms",
               "blocked-trav");
 
-  // Run online first to learn the window length for the baseline.
-  WindowResult online = RunScenario(n, kThreads, 1, 0);
-  WindowResult baseline =
-      RunScenario(n, kThreads, 0, std::max<uint64_t>(online.window_ms, 50));
-  WindowResult offline = RunScenario(n, kThreads, 2, 0);
+  Config def;
+  def.name = "default";
 
-  auto print = [&](const char* name, const WindowResult& r) {
-    std::printf("%-10s %10llu %10llu %12.0f %10.2f %10.2f %12llu\n", name,
-                (unsigned long long)r.window_ms,
-                (unsigned long long)r.ops_in_window,
-                r.window_ms == 0 ? 0.0
-                                 : r.ops_in_window * 1000.0 / r.window_ms,
-                r.p99_ms, r.max_ms, (unsigned long long)r.blocked);
-  };
-  print("baseline", baseline);
-  print("online", online);
-  print("offline", offline);
+  // Run online first to learn the window length for the baseline.
+  WindowResult online = RunScenario(def, n, kThreads, 1, 0);
+  WindowResult baseline = RunScenario(
+      def, n, kThreads, 0, std::max<uint64_t>(online.window_ms, 50));
+  WindowResult offline = RunScenario(def, n, kThreads, 2, 0);
+
+  PrintRow("baseline", baseline);
+  PrintRow("online", online);
+  PrintRow("offline", offline);
+  std::printf("\ncounters inside the online window:\n");
+  PrintIoPathCounters(online.counters);
 
   double online_frac =
       baseline.ops_in_window == 0
           ? 0
-          : (online.ops_in_window * 1000.0 / online.window_ms) /
-                (baseline.ops_in_window * 1000.0 / baseline.window_ms);
+          : online.OpsPerSec() / baseline.OpsPerSec();
   std::printf("\nonline rebuild sustains %.0f%% of baseline throughput; "
               "offline stalls every\noperation for the whole rebuild "
               "(max latency ~= rebuild duration).\n",
               online_frac * 100);
+
+  std::vector<std::pair<Config, WindowResult>> sweep_results;
+  if (sweep) {
+    // One knob at a time, relative to the default (shards auto, prefetch
+    // on, in-memory WAL with synchronous flush). The file-WAL pair is
+    // compared within itself: real fsyncs, group commit on vs off.
+    std::vector<Config> configs;
+    for (size_t s : {1u, 2u, 4u}) {
+      Config c;
+      c.name = "shards-" + std::to_string(s);
+      c.shards = s;
+      configs.push_back(c);
+    }
+    {
+      Config c;
+      c.name = "prefetch-off";
+      c.prefetch = false;
+      configs.push_back(c);
+    }
+    {
+      Config c;
+      c.name = "groupcommit-mem";
+      c.force_group_commit = true;
+      configs.push_back(c);
+    }
+    {
+      Config c;
+      c.name = "wal-file-group";
+      c.file_wal = true;
+      c.group_commit = true;
+      configs.push_back(c);
+    }
+    {
+      Config c;
+      c.name = "wal-file-sync";
+      c.file_wal = true;
+      c.group_commit = false;
+      configs.push_back(c);
+    }
+
+    std::printf("\nI/O-path sweep (online rebuild window, one knob at a "
+                "time):\n");
+    std::printf("%-14s %10s %10s %12s %10s %10s %12s\n", "config",
+                "window-ms", "ops", "ops/sec", "p99-ms", "max-ms",
+                "mean-group");
+    for (const Config& cfg : configs) {
+      WindowResult r = RunScenario(cfg, n, kThreads, 1, 0);
+      std::printf("%-14s %10llu %10llu %12.0f %10.2f %10.2f %12.1f\n",
+                  cfg.name.c_str(), (unsigned long long)r.window_ms,
+                  (unsigned long long)r.ops_in_window, r.OpsPerSec(),
+                  r.p99_ms, r.max_ms, MeanGroupSize(r.counters));
+      sweep_results.emplace_back(cfg, r);
+    }
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"io_path\",\n");
+  std::fprintf(f, "  \"oltp_threads\": %d,\n  \"keys\": %llu,\n", kThreads,
+               (unsigned long long)n);
+  std::fprintf(f, "  \"online_ops_per_sec\": %.0f,\n", online.OpsPerSec());
+  std::fprintf(f, "  \"baseline_ops_per_sec\": %.0f,\n",
+               baseline.OpsPerSec());
+  std::fprintf(f, "  \"scenarios\": [\n");
+  Config base_cfg = def;
+  base_cfg.name = "baseline";
+  WriteJsonScenario(f, "no-rebuild", base_cfg, baseline, false);
+  Config online_cfg = def;
+  online_cfg.name = "online";
+  WriteJsonScenario(f, "online-rebuild", online_cfg, online, false);
+  Config offline_cfg = def;
+  offline_cfg.name = "offline";
+  WriteJsonScenario(f, "offline-rebuild", offline_cfg, offline,
+                    sweep_results.empty());
+  for (size_t i = 0; i < sweep_results.size(); ++i) {
+    WriteJsonScenario(f, "online-rebuild", sweep_results[i].first,
+                      sweep_results[i].second,
+                      i + 1 == sweep_results.size());
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }
 

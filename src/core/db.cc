@@ -29,6 +29,7 @@ Status BuildStack(const DbOptions& options, bool truncate_files, Db* db,
   if (!options.log_path.empty()) {
     OIR_RETURN_IF_ERROR(
         LogManager::Open(options.log_path, truncate_files, log));
+    if (!options.wal_group_commit) (*log)->SetGroupCommit(false);
   } else {
     *log = std::make_unique<LogManager>();
   }
@@ -44,7 +45,8 @@ Status Db::Open(const DbOptions& options, std::unique_ptr<Db>* out) {
       BuildStack(options, /*truncate_files=*/true, db.get(), &db->disk_,
                  &db->log_));
   db->bm_ = std::make_unique<BufferManager>(db->disk_.get(),
-                                            options.buffer_pool_pages);
+                                            options.buffer_pool_pages,
+                                            options.buffer_pool_shards);
   db->bm_->SetLogFlusher(db->log_.get());
   db->locks_ = std::make_unique<LockManager>();
   db->space_ = std::make_unique<SpaceManager>(db->disk_.get(), db->log_.get(),
@@ -79,7 +81,8 @@ Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
       BuildStack(options, /*truncate_files=*/false, db.get(), &db->disk_,
                  &db->log_));
   db->bm_ = std::make_unique<BufferManager>(db->disk_.get(),
-                                            options.buffer_pool_pages);
+                                            options.buffer_pool_pages,
+                                            options.buffer_pool_shards);
   db->bm_->SetLogFlusher(db->log_.get());
   db->locks_ = std::make_unique<LockManager>();
   db->space_ = std::make_unique<SpaceManager>(db->disk_.get(), db->log_.get(),

@@ -17,6 +17,17 @@ struct DbOptions {
   // Buffer pool capacity in pages.
   size_t buffer_pool_pages = 4096;
 
+  // Buffer pool partitions (power of two). 0 picks automatically from the
+  // pool size (one shard per 16 frames, at most 8). 1 restores the single
+  // global-mutex pool for ablation.
+  size_t buffer_pool_shards = 0;
+
+  // WAL group commit: committers enqueue on a dedicated flusher thread and
+  // one batched write+fsync covers every waiter in the group. Applies only
+  // to file-backed logs (an in-memory log has no fsync to batch; see
+  // LogManager::SetGroupCommit to force it there for testing).
+  bool wal_group_commit = true;
+
   // Back the database with a POSIX file instead of memory.
   bool use_file_disk = false;
   std::string file_path;
@@ -46,8 +57,15 @@ struct RebuildOptions {
   uint32_t fillfactor = 100;
 
   // Pages per forced-write I/O — emulates configuring large buffers for
-  // the rebuild (Section 6.3: 16 KB buffers over 2 KB pages => 8).
+  // the rebuild (Section 6.3: 16 KB buffers over 2 KB pages => 8). Must
+  // not exceed the buffer pool size (the run buffer is io_pages pages).
   uint32_t io_pages = 8;
+
+  // Read-ahead twin of the forced write (Section 6.3 symmetry): the copy
+  // phase prefetches each top action's physically contiguous source-page
+  // runs with multi-page transfers of up to io_pages pages. Exposed for
+  // ablation.
+  bool prefetch = true;
 
   // Section 5.5 enhancement: fill level-1 pages by moving inserts into the
   // left sibling during propagation, avoiding a separate level-1 pass.

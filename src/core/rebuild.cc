@@ -98,6 +98,11 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
       options.io_pages < 1) {
     return Status::InvalidArgument("bad rebuild options");
   }
+  // An io_pages run larger than the pool cannot be staged for a forced
+  // multi-page write (and the prefetch path uses the same run size).
+  if (options.io_pages > bm_->pool_frames()) {
+    return Status::InvalidArgument("io_pages exceeds the buffer pool size");
+  }
   *result = RebuildResult();
   Impl impl;
   impl.tree = tree_;
@@ -319,6 +324,14 @@ Status OnlineRebuilder::Impl::LockBatch(OpCtx op, BTree::NtaScope* nta,
       batch->clear();
       batch->push_back(p1_id);
       PageId cur = p1_id;
+      // Read-ahead twin of the forced write (Section 6.3): the chain walk
+      // below is where a cold rebuild first touches each old page, so pull
+      // them in with multi-page transfers of up to io_pages pages. The
+      // leaf chain of a bulk-loaded index is mostly physically sequential;
+      // a jump just starts a new window, and Prefetch skips whatever is
+      // already cached. Purely speculative — failures fall back to the
+      // per-page Fetch.
+      PageId ra_first = kInvalidPageId;
       while (batch->size() < opts.ntasize) {
         PageRef cref;
         OIR_RETURN_IF_ERROR(bm->Fetch(cur, &cref));
@@ -327,6 +340,12 @@ Status OnlineRebuilder::Impl::LockBatch(OpCtx op, BTree::NtaScope* nta,
         cref.latch().UnlockS();
         cref.Release();
         if (next == kInvalidPageId) break;
+        if (opts.prefetch && opts.io_pages > 1 &&
+            (ra_first == kInvalidPageId || next < ra_first ||
+             next >= ra_first + opts.io_pages)) {
+          (void)bm->Prefetch(next, opts.io_pages);
+          ra_first = next;
+        }
         Status cs = locks->Lock(op.id, AddressLockKey(next), LockMode::kX,
                                 /*conditional=*/true);
         if (cs.IsBusy()) break;  // truncate the batch (Section 4.1.1)
@@ -452,6 +471,26 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
   };
   std::vector<Source> sources;
   sources.reserve(batch.size());
+
+  // Read-ahead twin of the forced write (Section 6.3): pull the batch's
+  // physically contiguous source-page runs into the pool with multi-page
+  // transfers of up to io_pages pages each. Cached pages win inside
+  // Prefetch, and any failure just falls back to the per-page Fetch below.
+  if (opts.prefetch) {
+    size_t i = 0;
+    while (i < batch.size()) {
+      size_t j = i + 1;
+      while (j < batch.size() && batch[j] == batch[j - 1] + 1 &&
+             j - i < opts.io_pages) {
+        ++j;
+      }
+      if (j - i > 1) {
+        (void)bm->Prefetch(batch[i], static_cast<uint32_t>(j - i));
+      }
+      i = j;
+    }
+  }
+
   for (PageId p : batch) {
     PageRef ref;
     OIR_RETURN_IF_ERROR(bm->Fetch(p, &ref));

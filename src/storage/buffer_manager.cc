@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/counters.h"
 #include "util/logging.h"
 
 namespace oir {
@@ -24,8 +25,7 @@ Latch& PageRef::latch() {
 
 void PageRef::MarkDirty() {
   OIR_DCHECK(valid());
-  std::lock_guard<std::mutex> l(bm_->mu_);
-  bm_->frames_[frame_].dirty = true;
+  bm_->frames_[frame_].dirty.store(true, std::memory_order_release);
 }
 
 void PageRef::Release() {
@@ -37,58 +37,82 @@ void PageRef::Release() {
   }
 }
 
-BufferManager::BufferManager(Disk* disk, size_t pool_frames)
+BufferManager::BufferManager(Disk* disk, size_t pool_frames, size_t shards)
     : disk_(disk), page_size_(disk->page_size()) {
   OIR_CHECK(pool_frames >= 8);
+  if (shards == 0) {
+    // One shard per 16 frames, at most 8: shards stay large relative to
+    // the handful of pages one operation pins at a time.
+    shards = 1;
+    while (shards < 8 && shards * 32 <= pool_frames) shards *= 2;
+  }
+  OIR_CHECK((shards & (shards - 1)) == 0 && shards <= pool_frames / 4);
+  shard_mask_ = static_cast<uint32_t>(shards - 1);
   frames_.resize(pool_frames);
-  free_list_.reserve(pool_frames);
   for (size_t i = 0; i < pool_frames; ++i) {
     frames_[i].data.reset(new char[page_size_]);
-    free_list_.push_back(pool_frames - 1 - i);
   }
+  shards_.resize(shards);
+  size_t next = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    Shard& sh = shards_[s];
+    sh.start = next;
+    sh.count = pool_frames / shards + (s < pool_frames % shards ? 1 : 0);
+    next += sh.count;
+    sh.free_list.reserve(sh.count);
+    for (size_t i = 0; i < sh.count; ++i) {
+      sh.free_list.push_back(sh.start + sh.count - 1 - i);
+    }
+  }
+  OIR_CHECK(next == pool_frames);
 }
 
 BufferManager::~BufferManager() {
 #ifndef NDEBUG
-  std::lock_guard<std::mutex> l(mu_);
-  for (const Frame& f : frames_) {
-    OIR_DCHECK(f.pin_count == 0);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    for (size_t i = sh.start; i < sh.start + sh.count; ++i) {
+      OIR_DCHECK(frames_[i].pin_count == 0);
+    }
   }
 #endif
 }
 
 void BufferManager::Unpin(size_t frame, PageId id) {
-  std::lock_guard<std::mutex> l(mu_);
+  Shard& sh = ShardOf(id);
+  std::lock_guard<std::mutex> l(sh.mu);
   Frame& f = frames_[frame];
   OIR_CHECK(f.page_id == id && f.pin_count > 0);
   --f.pin_count;
   f.ref = true;
-  if (f.pin_count == 0) cv_.notify_all();
+  if (f.pin_count == 0) NotifyAll(sh);
 }
 
-Status BufferManager::AllocateFrameLocked(std::unique_lock<std::mutex>* lk,
+Status BufferManager::AllocateFrameLocked(Shard& sh,
+                                          std::unique_lock<std::mutex>* lk,
                                           PageId for_page, size_t* out_frame) {
+  auto& c = GlobalCounters::Get();
   for (;;) {
-    if (!free_list_.empty()) {
-      size_t idx = free_list_.back();
-      free_list_.pop_back();
+    if (!sh.free_list.empty()) {
+      size_t idx = sh.free_list.back();
+      sh.free_list.pop_back();
       Frame& f = frames_[idx];
       f.page_id = for_page;
       f.pin_count = 1;
-      f.dirty = false;
+      f.dirty.store(false, std::memory_order_relaxed);
       f.loading = true;
       f.ref = true;
-      table_[for_page] = idx;
+      sh.table[for_page] = idx;
       *out_frame = idx;
       return Status::OK();
     }
-    // Clock scan for an evictable frame.
+    // Clock scan over this shard's frames for an evictable one.
     size_t scanned = 0;
     size_t victim = SIZE_MAX;
-    while (scanned < 2 * frames_.size()) {
-      Frame& f = frames_[clock_hand_];
-      size_t idx = clock_hand_;
-      clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    while (scanned < 2 * sh.count) {
+      size_t idx = sh.start + sh.clock_hand;
+      Frame& f = frames_[idx];
+      sh.clock_hand = (sh.clock_hand + 1) % sh.count;
       ++scanned;
       if (f.pin_count != 0 || f.loading) continue;
       if (f.ref) {
@@ -101,38 +125,41 @@ Status BufferManager::AllocateFrameLocked(std::unique_lock<std::mutex>* lk,
     if (victim == SIZE_MAX) {
       return Status::NoSpace("buffer pool exhausted: all frames pinned");
     }
+    c.pool_evictions.fetch_add(1, std::memory_order_relaxed);
     Frame& vf = frames_[victim];
     const PageId old_id = vf.page_id;
-    const bool was_dirty = vf.dirty;
+    // Claim the dirty bit before copying so a marker racing with the
+    // write-back leaves the frame dirty again.
+    const bool was_dirty = vf.dirty.exchange(false, std::memory_order_acquire);
     vf.loading = true;  // protect from concurrent use during write-back
     if (was_dirty) {
       lk->unlock();
       Status s = WriteBack(victim);
       lk->lock();
       if (!s.ok()) {
+        vf.dirty.store(true, std::memory_order_release);
         vf.loading = false;
-        cv_.notify_all();
+        NotifyAll(sh);
         return s;
       }
-      vf.dirty = false;
-      if (table_.count(for_page) != 0) {
+      if (sh.table.count(for_page) != 0) {
         // Another thread mapped `for_page` while we were writing back the
         // victim. Leave the (now clean) victim in place and tell the caller
         // to retry its lookup.
         vf.loading = false;
-        cv_.notify_all();
+        NotifyAll(sh);
         return Status::Busy("fetch raced");
       }
     }
-    table_.erase(old_id);
+    sh.table.erase(old_id);
     vf.page_id = for_page;
     vf.pin_count = 1;
-    vf.dirty = false;
+    vf.dirty.store(false, std::memory_order_relaxed);
     vf.loading = true;
     vf.ref = true;
-    table_[for_page] = victim;
+    sh.table[for_page] = victim;
     *out_frame = victim;
-    cv_.notify_all();  // wake fetchers of old_id so they retry
+    NotifyAll(sh);  // wake fetchers of old_id so they retry
     return Status::OK();
   }
 }
@@ -148,44 +175,50 @@ Status BufferManager::WriteBack(size_t frame) {
   if (log_flusher_ != nullptr && page_lsn != kInvalidLsn) {
     OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(page_lsn));
   }
+  GlobalCounters::Get().pool_writebacks.fetch_add(1,
+                                                  std::memory_order_relaxed);
   return disk_->WritePage(f.page_id, img.get());
 }
 
 Status BufferManager::Fetch(PageId id, PageRef* out) {
   OIR_CHECK(id != kInvalidPageId);
-  std::unique_lock<std::mutex> lk(mu_);
+  auto& c = GlobalCounters::Get();
+  Shard& sh = ShardOf(id);
+  std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
-    auto it = table_.find(id);
-    if (it != table_.end()) {
+    auto it = sh.table.find(id);
+    if (it != sh.table.end()) {
       Frame& f = frames_[it->second];
       if (f.loading) {
-        cv_.wait(lk);
+        WaitOn(sh, &lk);
         continue;
       }
       ++f.pin_count;
       f.ref = true;
+      c.pool_hits.fetch_add(1, std::memory_order_relaxed);
       *out = PageRef(this, it->second, id);
       return Status::OK();
     }
     size_t frame;
-    Status alloc = AllocateFrameLocked(&lk, id, &frame);
+    Status alloc = AllocateFrameLocked(sh, &lk, id, &frame);
     if (alloc.IsBusy()) continue;  // raced with another fetcher; retry
     OIR_RETURN_IF_ERROR(alloc);
+    c.pool_misses.fetch_add(1, std::memory_order_relaxed);
     // Frame is mapped to `id`, pinned once, loading=true. Do the read
-    // without the table mutex.
+    // without the shard mutex.
     lk.unlock();
     Status s = disk_->ReadPage(id, frames_[frame].data.get());
     lk.lock();
     Frame& f = frames_[frame];
     f.loading = false;
-    cv_.notify_all();
+    NotifyAll(sh);
     if (!s.ok()) {
       // Undo: unmap and free the frame.
       --f.pin_count;
       OIR_CHECK(f.pin_count == 0);
-      table_.erase(id);
+      sh.table.erase(id);
       f.page_id = kInvalidPageId;
-      free_list_.push_back(frame);
+      sh.free_list.push_back(frame);
       return s;
     }
     *out = PageRef(this, frame, id);
@@ -195,71 +228,76 @@ Status BufferManager::Fetch(PageId id, PageRef* out) {
 
 Status BufferManager::Create(PageId id, PageRef* out) {
   OIR_CHECK(id != kInvalidPageId);
-  std::unique_lock<std::mutex> lk(mu_);
+  Shard& sh = ShardOf(id);
+  std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
-    auto it = table_.find(id);
-    if (it != table_.end()) {
+    auto it = sh.table.find(id);
+    if (it != sh.table.end()) {
       Frame& f = frames_[it->second];
       if (f.loading) {
-        cv_.wait(lk);
+        WaitOn(sh, &lk);
         continue;
       }
       // Stale cached copy of a previously freed page: reuse the frame once
       // any lingering reader pins drain.
       if (f.pin_count != 0) {
-        cv_.wait(lk);
+        WaitOn(sh, &lk);
         continue;
       }
       ++f.pin_count;
       f.ref = true;
-      f.dirty = false;
+      f.dirty.store(false, std::memory_order_relaxed);
       std::memset(f.data.get(), 0, page_size_);
       *out = PageRef(this, it->second, id);
       return Status::OK();
     }
     size_t frame;
-    Status alloc = AllocateFrameLocked(&lk, id, &frame);
+    Status alloc = AllocateFrameLocked(sh, &lk, id, &frame);
     if (alloc.IsBusy()) continue;  // raced with another fetcher; retry
     OIR_RETURN_IF_ERROR(alloc);
     Frame& f = frames_[frame];
     std::memset(f.data.get(), 0, page_size_);
     f.loading = false;
-    cv_.notify_all();
+    NotifyAll(sh);
     *out = PageRef(this, frame, id);
     return Status::OK();
   }
 }
 
 Status BufferManager::FlushPage(PageId id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  Shard& sh = ShardOf(id);
+  std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
-    auto it = table_.find(id);
-    if (it == table_.end()) return Status::OK();
+    auto it = sh.table.find(id);
+    if (it == sh.table.end()) return Status::OK();
     size_t frame = it->second;
     Frame& f = frames_[frame];
     if (f.loading) {
-      cv_.wait(lk);
+      WaitOn(sh, &lk);
       continue;  // frame may have been remapped while we waited
     }
-    if (!f.dirty) return Status::OK();
+    if (!f.dirty.exchange(false, std::memory_order_acquire)) {
+      return Status::OK();
+    }
     ++f.pin_count;  // keep the frame stable during write-back
     lk.unlock();
     Status s = WriteBack(frame);
     lk.lock();
-    if (s.ok()) f.dirty = false;
+    if (!s.ok()) f.dirty.store(true, std::memory_order_release);
     --f.pin_count;
-    if (f.pin_count == 0) cv_.notify_all();
+    if (f.pin_count == 0) NotifyAll(sh);
     return s;
   }
 }
 
 Status BufferManager::FlushAll() {
   std::vector<PageId> ids;
-  {
-    std::lock_guard<std::mutex> l(mu_);
-    ids.reserve(table_.size());
-    for (const auto& [id, frame] : table_) {
-      if (frames_[frame].dirty) ids.push_back(id);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    for (const auto& [id, frame] : sh.table) {
+      if (frames_[frame].dirty.load(std::memory_order_acquire)) {
+        ids.push_back(id);
+      }
     }
   }
   for (PageId id : ids) {
@@ -270,7 +308,9 @@ Status BufferManager::FlushAll() {
 
 Status BufferManager::FlushPages(const std::vector<PageId>& ids,
                                  uint32_t io_pages) {
-  OIR_CHECK(io_pages >= 1);
+  if (io_pages < 1 || io_pages > frames_.size()) {
+    return Status::InvalidArgument("io_pages outside [1, pool_frames]");
+  }
   std::vector<PageId> sorted(ids);
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
@@ -286,13 +326,14 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
     while (i < sorted.size() && run_len < io_pages &&
            sorted[i] == run_start + run_len) {
       PageId id = sorted[i];
-      std::unique_lock<std::mutex> lk(mu_);
+      Shard& sh = ShardOf(id);
+      std::unique_lock<std::mutex> lk(sh.mu);
       size_t frame = SIZE_MAX;
       for (;;) {
-        auto it = table_.find(id);
-        if (it == table_.end()) break;
+        auto it = sh.table.find(id);
+        if (it == sh.table.end()) break;
         if (frames_[it->second].loading) {
-          cv_.wait(lk);
+          WaitOn(sh, &lk);
           continue;  // re-find: frame may have been remapped
         }
         frame = it->second;
@@ -309,9 +350,10 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
         }
         break;
       }
-      ++frames_[frame].pin_count;
-      lk.unlock();
       Frame& fr = frames_[frame];
+      ++fr.pin_count;
+      fr.dirty.store(false, std::memory_order_relaxed);  // claimed below
+      lk.unlock();
       fr.latch.LockS();
       std::memcpy(run_buf.get() + static_cast<size_t>(run_len) * page_size_,
                   fr.data.get(), page_size_);
@@ -321,9 +363,8 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
                     ->page_lsn;
       max_lsn = std::max(max_lsn, lsn);
       lk.lock();
-      fr.dirty = false;
       --fr.pin_count;
-      if (fr.pin_count == 0) cv_.notify_all();
+      if (fr.pin_count == 0) NotifyAll(sh);
       lk.unlock();
       ++run_len;
       ++i;
@@ -332,46 +373,132 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
     if (log_flusher_ != nullptr && max_lsn != kInvalidLsn) {
       OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(max_lsn));
     }
+    GlobalCounters::Get().pool_writebacks.fetch_add(
+        run_len, std::memory_order_relaxed);
     OIR_RETURN_IF_ERROR(disk_->WriteMulti(run_start, run_len, run_buf.get()));
   }
   return Status::OK();
 }
 
+Status BufferManager::Prefetch(PageId first, uint32_t count) {
+  // Same guard as FlushPages' io_pages: the staged run must fit the pool.
+  if (count < 1 || count > frames_.size()) {
+    return Status::InvalidArgument("prefetch run outside [1, pool_frames]");
+  }
+  if (first == kInvalidPageId || first >= disk_->NumPages()) {
+    return Status::InvalidArgument("prefetch of invalid page");
+  }
+  // Read-ahead is speculative, so a run overshooting the device is
+  // trimmed, not an error.
+  count = std::min(count, disk_->NumPages() - first);
+
+  // Reserve frames for the non-resident pages BEFORE touching the disk.
+  // The reservations sit in the page tables with loading=true, so a
+  // concurrent fetcher of one of these pages blocks on `loading` instead
+  // of issuing its own read — and, crucially, no writer can slip a newer
+  // image into the pool between our disk read and the copy-out below
+  // (modifying a page requires fetching it first). Resident pages are
+  // skipped: the cached copy wins.
+  struct Slot {
+    PageId id;
+    size_t frame;
+    uint32_t off;  // page offset inside the staging buffer
+  };
+  std::vector<Slot> slots;
+  slots.reserve(count);
+  auto undo = [&](Status why) {
+    for (const Slot& s : slots) {
+      Shard& sh = ShardOf(s.id);
+      std::lock_guard<std::mutex> l(sh.mu);
+      Frame& f = frames_[s.frame];
+      sh.table.erase(s.id);
+      f.page_id = kInvalidPageId;
+      f.pin_count = 0;
+      f.loading = false;
+      sh.free_list.push_back(s.frame);
+      NotifyAll(sh);
+    }
+    return why;
+  };
+  for (uint32_t i = 0; i < count; ++i) {
+    const PageId id = first + i;
+    Shard& sh = ShardOf(id);
+    std::unique_lock<std::mutex> lk(sh.mu);
+    if (sh.table.count(id) != 0) continue;  // cached copy wins: skip
+    size_t frame;
+    Status alloc = AllocateFrameLocked(sh, &lk, id, &frame);
+    if (alloc.IsBusy()) continue;    // another thread just mapped it
+    if (alloc.IsNoSpace()) continue; // best-effort: shard full of pins
+    if (!alloc.ok()) return undo(alloc);
+    slots.push_back(Slot{id, frame, i});
+  }
+  if (slots.empty()) return Status::OK();  // fully resident: no I/O at all
+
+  // One large transfer covering the whole span (resident gaps are read
+  // into the staging buffer and simply not copied out), then distribute.
+  std::unique_ptr<char[]> stage(
+      new char[static_cast<size_t>(count) * page_size_]);
+  Status rs = disk_->ReadPages(first, count, stage.get());
+  if (!rs.ok()) return undo(rs);
+  auto& c = GlobalCounters::Get();
+  for (const Slot& s : slots) {
+    // Frame is mapped, pinned once, loading=true: stable without the lock.
+    std::memcpy(frames_[s.frame].data.get(),
+                stage.get() + static_cast<size_t>(s.off) * page_size_,
+                page_size_);
+    Shard& sh = ShardOf(s.id);
+    std::lock_guard<std::mutex> l(sh.mu);
+    Frame& f = frames_[s.frame];
+    f.loading = false;
+    f.pin_count = 0;
+    c.pool_prefetched.fetch_add(1, std::memory_order_relaxed);
+    NotifyAll(sh);
+  }
+  return Status::OK();
+}
+
 void BufferManager::Discard(PageId id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  Shard& sh = ShardOf(id);
+  std::unique_lock<std::mutex> lk(sh.mu);
   for (;;) {
-    auto it = table_.find(id);
-    if (it == table_.end()) return;
+    auto it = sh.table.find(id);
+    if (it == sh.table.end()) return;
     Frame& f = frames_[it->second];
     if (f.loading || f.pin_count != 0) {
       // A reader (e.g. a scan repositioning itself) may hold a short pin on
       // a page being freed; wait for it to drain.
-      cv_.wait(lk);
+      WaitOn(sh, &lk);
       continue;
     }
-    f.dirty = false;
+    f.dirty.store(false, std::memory_order_relaxed);
     f.page_id = kInvalidPageId;
-    free_list_.push_back(it->second);
-    table_.erase(it);
+    sh.free_list.push_back(it->second);
+    sh.table.erase(it);
     return;
   }
 }
 
 void BufferManager::DropAll() {
-  std::unique_lock<std::mutex> lk(mu_);
-  for (auto& [id, frame] : table_) {
-    Frame& f = frames_[frame];
-    OIR_CHECK(f.pin_count == 0 && !f.loading);
-    f.dirty = false;
-    f.page_id = kInvalidPageId;
-    free_list_.push_back(frame);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    for (auto& [id, frame] : sh.table) {
+      Frame& f = frames_[frame];
+      OIR_CHECK(f.pin_count == 0 && !f.loading);
+      f.dirty.store(false, std::memory_order_relaxed);
+      f.page_id = kInvalidPageId;
+      sh.free_list.push_back(frame);
+    }
+    sh.table.clear();
   }
-  table_.clear();
 }
 
 size_t BufferManager::CachedPages() const {
-  std::lock_guard<std::mutex> l(mu_);
-  return table_.size();
+  size_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> l(sh.mu);
+    total += sh.table.size();
+  }
+  return total;
 }
 
 }  // namespace oir

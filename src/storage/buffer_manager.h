@@ -7,13 +7,24 @@
 // back). Page latches live in the frames; a page can only be latched while
 // pinned, so a latch holder always has a stable frame.
 //
-// The paper's rebuild relies on two buffer-manager behaviours implemented
+// The pool is partitioned into N shards (power of two, pages hashed on
+// PageId): each shard owns a slice of the frames and has its own mutex,
+// page table, free list and clock hand, so concurrent Fetch/Create/Unpin/
+// Discard calls on different pages do not serialize behind one global
+// mutex. Whole-pool operations (FlushAll, DropAll, CachedPages) iterate
+// the shards.
+//
+// The paper's rebuild relies on three buffer-manager behaviours implemented
 // here:
 //   * "forced write" of the new pages at the end of each rebuild
 //     transaction, before the old pages are freed (Section 3) — FlushPages;
 //   * large-buffer I/O: FlushPages groups physically contiguous pages into
-//     multi-page transfers, emulating the 16 KB buffer pool of Section 6.3.
+//     multi-page transfers, emulating the 16 KB buffer pool of Section 6.3;
+//   * read-ahead: Prefetch pulls a physically contiguous run of pages into
+//     frames with one multi-page transfer — the read-path twin of
+//     FlushPages, used by the rebuild's copy phase.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -94,7 +105,12 @@ class PageRef {
 
 class BufferManager {
  public:
-  BufferManager(Disk* disk, size_t pool_frames);
+  // `shards` must be a power of two, or 0 to pick automatically (scaled to
+  // the pool: one shard per 16 frames, at most 8). Every shard gets an
+  // equal slice of `pool_frames`; a shard whose frames are all pinned
+  // reports NoSpace even if other shards have room, so shards are kept
+  // large relative to the number of pages a single operation pins.
+  BufferManager(Disk* disk, size_t pool_frames, size_t shards = 0);
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -104,6 +120,8 @@ class BufferManager {
 
   uint32_t page_size() const { return page_size_; }
   Disk* disk() { return disk_; }
+  size_t pool_frames() const { return frames_.size(); }
+  size_t num_shards() const { return shards_.size(); }
 
   // Pins the page, reading it from disk if absent.
   Status Fetch(PageId id, PageRef* out);
@@ -121,8 +139,17 @@ class BufferManager {
   Status FlushAll();
 
   // Forced write of a specific set of pages. Physically contiguous ids are
-  // grouped into transfers of up to io_pages pages each (io_pages >= 1).
+  // grouped into transfers of up to io_pages pages each (io_pages >= 1,
+  // and at most pool_frames(): the run buffer must not exceed the pool).
   Status FlushPages(const std::vector<PageId>& ids, uint32_t io_pages);
+
+  // Read-ahead: pulls the physically contiguous run [first, first+count)
+  // into frames with one multi-page disk transfer. Pages already cached
+  // keep their (possibly newer) frame; the staged copy is dropped. Pages
+  // are left unpinned. Best-effort: if the target shard has no evictable
+  // frame the remaining pages are simply not cached. count must not
+  // exceed pool_frames().
+  Status Prefetch(PageId first, uint32_t count);
 
   // Drops a (clean or dirty) page from the cache without writing it. Used
   // when a page transitions to the free state — its content is dead. The
@@ -141,38 +168,62 @@ class BufferManager {
 
   struct Frame {
     PageId page_id = kInvalidPageId;
-    uint32_t pin_count = 0;   // guarded by table mutex
-    bool dirty = false;       // guarded by table mutex
-    bool loading = false;     // I/O in progress; guarded by table mutex
-    bool ref = false;         // clock reference bit
+    uint32_t pin_count = 0;         // guarded by the shard mutex
+    std::atomic<bool> dirty{false}; // lock-free: set by MarkDirty
+    bool loading = false;           // I/O in progress; guarded by shard mutex
+    bool ref = false;               // clock reference bit
     Latch latch;
     std::unique_ptr<char[]> data;
   };
 
+  // One partition of the pool: owns frames [start, start+count) of frames_.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    size_t cv_waiters = 0;  // guarded by mu; skip notify when zero
+    std::unordered_map<PageId, size_t> table;  // id -> global frame index
+    std::vector<size_t> free_list;             // global frame indices
+    size_t start = 0;
+    size_t count = 0;
+    size_t clock_hand = 0;  // local offset within [start, start+count)
+  };
+
+  Shard& ShardOf(PageId id) {
+    // Multiplicative hash (odd constant => a bijection on the low bits):
+    // contiguous page runs spread across shards.
+    return shards_[(id * 2654435761u) & shard_mask_];
+  }
+
+  static void WaitOn(Shard& s, std::unique_lock<std::mutex>* lk) {
+    ++s.cv_waiters;
+    s.cv.wait(*lk);
+    --s.cv_waiters;
+  }
+  static void NotifyAll(Shard& s) {
+    if (s.cv_waiters != 0) s.cv.notify_all();
+  }
+
   void Unpin(size_t frame, PageId id);
 
-  // Finds a frame to (re)use. Called with mu_ held; may release and
-  // reacquire it around eviction I/O. On success the frame is marked
-  // loading with pin_count 1 and mapped to `for_page`.
-  Status AllocateFrameLocked(std::unique_lock<std::mutex>* lk, PageId for_page,
-                             size_t* out_frame);
+  // Finds a frame to (re)use in `shard`. Called with the shard mutex held;
+  // may release and reacquire it around eviction I/O. On success the frame
+  // is marked loading with pin_count 1 and mapped to `for_page`.
+  Status AllocateFrameLocked(Shard& shard, std::unique_lock<std::mutex>* lk,
+                             PageId for_page, size_t* out_frame);
 
   // Writes the frame's page to disk (WAL constraint honored). The frame's
   // latch is taken in S mode internally to get a consistent image. Must be
-  // called without holding mu_ and with the frame protected from reuse
-  // (pinned or loading).
+  // called without holding the shard mutex and with the frame protected
+  // from reuse (pinned or loading).
   Status WriteBack(size_t frame);
 
   Disk* const disk_;
   const uint32_t page_size_;
   LogFlusher* log_flusher_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::deque<Frame> frames_;
-  std::unordered_map<PageId, size_t> table_;
-  std::vector<size_t> free_list_;
-  size_t clock_hand_ = 0;
+  std::deque<Shard> shards_;
+  uint32_t shard_mask_ = 0;  // num shards - 1 (power of two)
 };
 
 }  // namespace oir

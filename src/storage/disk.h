@@ -41,6 +41,13 @@ class Disk {
   virtual Status ReadMulti(PageId first, uint32_t n, char* buf) = 0;
   virtual Status WriteMulti(PageId first, uint32_t n, const char* buf) = 0;
 
+  // Read-path mirror of the multi-page forced write: one transfer covering
+  // a contiguous run. Used by BufferManager::Prefetch for rebuild
+  // read-ahead (the Section 6.3 large-buffer discipline, applied to reads).
+  Status ReadPages(PageId first, uint32_t n, char* buf) {
+    return ReadMulti(first, n, buf);
+  }
+
   // Durability barrier.
   virtual Status Sync() = 0;
 

@@ -36,9 +36,8 @@ class Transaction {
 
   // LSN of the transaction's begin record: the log may not be truncated
   // past the oldest active transaction's begin (its undo chain must stay
-  // readable).
-  Lsn begin_lsn() const { return begin_lsn_; }
-  void set_begin_lsn(Lsn lsn) { begin_lsn_ = lsn; }
+  // readable). kInvalidLsn until the first record is logged (lazy begin).
+  Lsn begin_lsn() const { return ctx_.begin_lsn; }
 
   TxnState state() const { return state_; }
   void set_state(TxnState s) { state_ = s; }
@@ -50,7 +49,6 @@ class Transaction {
 
  private:
   TxnContext ctx_;
-  Lsn begin_lsn_ = kInvalidLsn;
   TxnState state_ = TxnState::kActive;
   std::vector<LockKey> txn_locks_;
 };

@@ -11,10 +11,9 @@ TransactionManager::TransactionManager(LogManager* log, LockManager* locks,
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id);
-  LogRecord rec;
-  rec.type = LogType::kBeginTxn;
-  Lsn lsn = log_->Append(&rec, txn->ctx());
-  txn->set_begin_lsn(lsn);
+  // The begin record is written lazily by LogManager::Append just before
+  // the transaction's first real record; a read-only transaction never
+  // touches the log.
   {
     std::lock_guard<std::mutex> l(mu_);
     active_[id] = txn.get();
@@ -24,14 +23,19 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 
 Status TransactionManager::Commit(Transaction* txn) {
   OIR_CHECK(txn->state() == TxnState::kActive);
-  LogRecord commit;
-  commit.type = LogType::kCommitTxn;
-  Lsn lsn = log_->Append(&commit, txn->ctx());
-  OIR_RETURN_IF_ERROR(log_->FlushTo(lsn));
-  ReleaseTrackedLocks(txn);
-  LogRecord end;
-  end.type = LogType::kEndTxn;
-  log_->Append(&end, txn->ctx());
+  if (txn->last_lsn() != kInvalidLsn) {
+    LogRecord commit;
+    commit.type = LogType::kCommitTxn;
+    Lsn lsn = log_->Append(&commit, txn->ctx());
+    OIR_RETURN_IF_ERROR(log_->FlushTo(lsn));
+    ReleaseTrackedLocks(txn);
+    LogRecord end;
+    end.type = LogType::kEndTxn;
+    log_->Append(&end, txn->ctx());
+  } else {
+    // Nothing logged: nothing to make durable or to undo.
+    ReleaseTrackedLocks(txn);
+  }
   txn->set_state(TxnState::kCommitted);
   {
     std::lock_guard<std::mutex> l(mu_);
@@ -42,6 +46,13 @@ Status TransactionManager::Commit(Transaction* txn) {
 
 Status TransactionManager::Abort(Transaction* txn) {
   OIR_CHECK(txn->state() == TxnState::kActive);
+  if (txn->last_lsn() == kInvalidLsn) {
+    ReleaseTrackedLocks(txn);
+    txn->set_state(TxnState::kAborted);
+    std::lock_guard<std::mutex> l(mu_);
+    active_.erase(txn->id());
+    return Status::OK();
+  }
   LogRecord abort;
   abort.type = LogType::kAbortTxn;
   log_->Append(&abort, txn->ctx());
@@ -90,6 +101,9 @@ void TransactionManager::SnapshotActive(std::vector<CheckpointTxn>* out,
   out->clear();
   *oldest_begin = kInvalidLsn;
   for (const auto& [id, txn] : active_) {
+    // A transaction that has not logged anything yet (lazy begin) needs no
+    // recovery work and does not pin the log.
+    if (txn->last_lsn() == kInvalidLsn) continue;
     out->push_back(CheckpointTxn{id, txn->last_lsn()});
     if (*oldest_begin == kInvalidLsn || txn->begin_lsn() < *oldest_begin) {
       *oldest_begin = txn->begin_lsn();

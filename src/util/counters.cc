@@ -25,6 +25,13 @@ CounterSnapshot GlobalCounters::Snapshot() const {
   s.level1_visits = level1_visits.load(std::memory_order_relaxed);
   s.traversal_restarts = traversal_restarts.load(std::memory_order_relaxed);
   s.blocked_traversals = blocked_traversals.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits.load(std::memory_order_relaxed);
+  s.pool_misses = pool_misses.load(std::memory_order_relaxed);
+  s.pool_evictions = pool_evictions.load(std::memory_order_relaxed);
+  s.pool_writebacks = pool_writebacks.load(std::memory_order_relaxed);
+  s.pool_prefetched = pool_prefetched.load(std::memory_order_relaxed);
+  s.log_flush_calls = log_flush_calls.load(std::memory_order_relaxed);
+  s.log_fsyncs = log_fsyncs.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -43,23 +50,36 @@ void GlobalCounters::Reset() {
   level1_visits.store(0, std::memory_order_relaxed);
   traversal_restarts.store(0, std::memory_order_relaxed);
   blocked_traversals.store(0, std::memory_order_relaxed);
+  pool_hits.store(0, std::memory_order_relaxed);
+  pool_misses.store(0, std::memory_order_relaxed);
+  pool_evictions.store(0, std::memory_order_relaxed);
+  pool_writebacks.store(0, std::memory_order_relaxed);
+  pool_prefetched.store(0, std::memory_order_relaxed);
+  log_flush_calls.store(0, std::memory_order_relaxed);
+  log_fsyncs.store(0, std::memory_order_relaxed);
 }
 
 std::string CounterSnapshot::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "latch_acquires=%llu latch_waits=%llu lock_requests=%llu "
       "lock_waits=%llu log_records=%llu log_bytes=%llu pages_read=%llu "
       "pages_written=%llu io_ops=%llu level1_visits=%llu "
-      "traversal_restarts=%llu blocked_traversals=%llu",
+      "traversal_restarts=%llu blocked_traversals=%llu pool_hits=%llu "
+      "pool_misses=%llu pool_evictions=%llu pool_writebacks=%llu "
+      "pool_prefetched=%llu log_flush_calls=%llu log_fsyncs=%llu",
       (unsigned long long)latch_acquires, (unsigned long long)latch_waits,
       (unsigned long long)lock_requests, (unsigned long long)lock_waits,
       (unsigned long long)log_records, (unsigned long long)log_bytes,
       (unsigned long long)pages_read, (unsigned long long)pages_written,
       (unsigned long long)io_ops, (unsigned long long)level1_visits,
       (unsigned long long)traversal_restarts,
-      (unsigned long long)blocked_traversals);
+      (unsigned long long)blocked_traversals, (unsigned long long)pool_hits,
+      (unsigned long long)pool_misses, (unsigned long long)pool_evictions,
+      (unsigned long long)pool_writebacks,
+      (unsigned long long)pool_prefetched,
+      (unsigned long long)log_flush_calls, (unsigned long long)log_fsyncs);
   return std::string(buf);
 }
 

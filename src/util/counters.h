@@ -27,6 +27,13 @@ struct CounterSnapshot {
   uint64_t level1_visits = 0;
   uint64_t traversal_restarts = 0;
   uint64_t blocked_traversals = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;
+  uint64_t pool_prefetched = 0;
+  uint64_t log_flush_calls = 0;
+  uint64_t log_fsyncs = 0;
 
   CounterSnapshot operator-(const CounterSnapshot& b) const {
     CounterSnapshot r;
@@ -44,6 +51,13 @@ struct CounterSnapshot {
     r.level1_visits = level1_visits - b.level1_visits;
     r.traversal_restarts = traversal_restarts - b.traversal_restarts;
     r.blocked_traversals = blocked_traversals - b.blocked_traversals;
+    r.pool_hits = pool_hits - b.pool_hits;
+    r.pool_misses = pool_misses - b.pool_misses;
+    r.pool_evictions = pool_evictions - b.pool_evictions;
+    r.pool_writebacks = pool_writebacks - b.pool_writebacks;
+    r.pool_prefetched = pool_prefetched - b.pool_prefetched;
+    r.log_flush_calls = log_flush_calls - b.log_flush_calls;
+    r.log_fsyncs = log_fsyncs - b.log_fsyncs;
     return r;
   }
 
@@ -68,6 +82,13 @@ class GlobalCounters {
   std::atomic<uint64_t> level1_visits{0};
   std::atomic<uint64_t> traversal_restarts{0};
   std::atomic<uint64_t> blocked_traversals{0};
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> pool_evictions{0};
+  std::atomic<uint64_t> pool_writebacks{0};
+  std::atomic<uint64_t> pool_prefetched{0};
+  std::atomic<uint64_t> log_flush_calls{0};
+  std::atomic<uint64_t> log_fsyncs{0};
 
   CounterSnapshot Snapshot() const;
   void Reset();

@@ -18,7 +18,30 @@ LogManager::LogManager() : durable_lsn_(kHeaderSize) {
 }
 
 LogManager::~LogManager() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_flusher_ = true;
+  }
+  flush_cv_.notify_all();
+  flushed_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
   if (fd_ >= 0) ::close(fd_);
+}
+
+void LogManager::SetGroupCommit(bool on) {
+  std::lock_guard<std::mutex> l(mu_);
+  group_commit_ = on;
+  // The flusher thread is started lazily on first enable (and kept across
+  // toggles) so a purely synchronous log never spawns one — and so Open's
+  // single-threaded recovery path runs before any concurrent access.
+  if (on && !flusher_.joinable()) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+bool LogManager::group_commit() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return group_commit_;
 }
 
 // File layout: a 24-byte header [magic:8]["trim_base":8][reserved:8]
@@ -113,6 +136,10 @@ Status LogManager::Open(const std::string& path, bool truncate,
   if (mfd >= 0) ::close(mfd);
   if (truncate) ::unlink(mpath.c_str());
 
+  // File-backed logs default to group commit: there is a real fsync whose
+  // cost is worth amortizing across concurrent committers.
+  log->SetGroupCommit(true);
+
   *out = std::move(log);
   return Status::OK();
 }
@@ -140,6 +167,7 @@ Status LogManager::PersistLocked() {
       return Status::IOError(std::string("log fdatasync: ") +
                              std::strerror(errno));
     }
+    GlobalCounters::Get().log_fsyncs.fetch_add(1, std::memory_order_relaxed);
     file_synced_ = tail;
   }
   return Status::OK();
@@ -163,59 +191,135 @@ Status LogManager::PersistMasterLocked() {
   return Status::OK();
 }
 
-Lsn LogManager::AppendLocked(LogRecord* rec) {
-  const Lsn lsn = trim_base_ + buf_.size();
-  rec->lsn = lsn;
-  std::string payload;
-  rec->EncodeTo(&payload);
+// The record payload does not encode its own LSN (only prev_lsn), so
+// serialization and the CRC — the expensive parts of an append — happen
+// outside mu_; the critical section is just the buffer append.
+Lsn LogManager::AppendEncoded(LogRecord* rec, const std::string& payload) {
   char frame[8];
   EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
   EncodeFixed32(frame + 4,
                 crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
-  buf_.append(frame, sizeof(frame));
-  buf_.append(payload);
   auto& c = GlobalCounters::Get();
   c.log_records.fetch_add(1, std::memory_order_relaxed);
   c.log_bytes.fetch_add(sizeof(frame) + payload.size(),
                         std::memory_order_relaxed);
+  std::lock_guard<std::mutex> l(mu_);
+  const Lsn lsn = trim_base_ + buf_.size();
+  rec->lsn = lsn;
+  buf_.append(frame, sizeof(frame));
+  buf_.append(payload);
   return lsn;
 }
 
 Lsn LogManager::Append(LogRecord* rec, TxnContext* ctx) {
-  std::lock_guard<std::mutex> l(mu_);
+  // Lazy begin: the begin record is written just before the transaction's
+  // first real record, so transactions that never log (pure reads) cost
+  // nothing in the WAL.
+  if (ctx->last_lsn == kInvalidLsn && rec->type != LogType::kBeginTxn) {
+    LogRecord begin;
+    begin.type = LogType::kBeginTxn;
+    begin.txn_id = ctx->txn_id;
+    begin.prev_lsn = kInvalidLsn;
+    std::string bp;
+    begin.EncodeTo(&bp);
+    ctx->last_lsn = AppendEncoded(&begin, bp);
+    ctx->begin_lsn = ctx->last_lsn;
+  }
   rec->txn_id = ctx->txn_id;
   rec->prev_lsn = ctx->last_lsn;
-  Lsn lsn = AppendLocked(rec);
+  std::string payload;
+  rec->EncodeTo(&payload);
+  Lsn lsn = AppendEncoded(rec, payload);
   ctx->last_lsn = lsn;
+  if (ctx->begin_lsn == kInvalidLsn) ctx->begin_lsn = lsn;
   return lsn;
 }
 
 Lsn LogManager::AppendSystem(LogRecord* rec) {
-  std::lock_guard<std::mutex> l(mu_);
   rec->txn_id = kInvalidTxnId;
   rec->prev_lsn = kInvalidLsn;
-  return AppendLocked(rec);
+  std::string payload;
+  rec->EncodeTo(&payload);
+  return AppendEncoded(rec, payload);
+}
+
+// Flushing "to" an LSN must make the record AT that lsn durable; the
+// boundary is advanced to the end of the log so one flush covers every
+// record appended so far.
+Status LogManager::FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn) {
+  GlobalCounters::Get().log_flush_calls.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  if (!group_commit_) {
+    // Synchronous path: flush inline on the calling thread.
+    if (lsn >= durable_lsn_) durable_lsn_ = trim_base_ + buf_.size();
+    if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
+      durable_master_ckpt_ = master_ckpt_;
+    }
+    return PersistLocked();
+  }
+  // Group commit: publish the target, wake the flusher, and wait until a
+  // flush round covers our record (durable_lsn_ is advanced only after the
+  // round's write+fsync succeeded).
+  for (;;) {
+    if (lsn < durable_lsn_) return Status::OK();
+    const Lsn target = trim_base_ + buf_.size();
+    if (requested_lsn_ < target) requested_lsn_ = target;
+    flush_cv_.notify_one();
+    const uint64_t my_err = flush_err_seq_;
+    flushed_cv_.wait(*lk, [&] {
+      return lsn < durable_lsn_ || flush_err_seq_ != my_err || stop_flusher_;
+    });
+    if (lsn < durable_lsn_) return Status::OK();
+    if (flush_err_seq_ != my_err) return last_flush_error_;
+    if (stop_flusher_) return Status::IOError("log manager shutting down");
+  }
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
-  std::lock_guard<std::mutex> l(mu_);
-  // Flushing "to" an LSN must make the record AT that lsn durable, so we
-  // advance the boundary to the end of the log (group commit style: cheap
-  // in this model).
-  if (lsn >= durable_lsn_) durable_lsn_ = trim_base_ + buf_.size();
-  if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
-    durable_master_ckpt_ = master_ckpt_;
-  }
-  return PersistLocked();
+  std::unique_lock<std::mutex> lk(mu_);
+  return FlushToLocked(&lk, lsn);
 }
 
 Status LogManager::FlushAll() {
-  std::lock_guard<std::mutex> l(mu_);
-  durable_lsn_ = trim_base_ + buf_.size();
-  if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
-    durable_master_ckpt_ = master_ckpt_;
+  std::unique_lock<std::mutex> lk(mu_);
+  const Lsn tail = trim_base_ + buf_.size();
+  if (tail <= kHeaderSize) return Status::OK();
+  // The record at tail-1 durable <=> durable_lsn_ >= tail.
+  return FlushToLocked(&lk, tail - 1);
+}
+
+void LogManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_flusher_) {
+    if (requested_lsn_ <= durable_lsn_) {
+      flush_cv_.wait(lk);
+      continue;
+    }
+    // One batched flush round covering every record appended so far: all
+    // current waiters ride on this single write+fsync.
+    const Lsn target = trim_base_ + buf_.size();
+    Status s = PersistLocked();
+    if (fd_ < 0) {
+      // In-memory log: no physical sync, but count the round so the
+      // flush-calls-per-fsync group-size metric stays meaningful.
+      GlobalCounters::Get().log_fsyncs.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+    if (s.ok()) {
+      durable_lsn_ = target;
+      if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
+        durable_master_ckpt_ = master_ckpt_;
+      }
+    } else {
+      last_flush_error_ = s;
+      ++flush_err_seq_;
+      // Drop the pending request so a persistent I/O error doesn't spin the
+      // flusher; the next FlushTo re-raises it (and retries the write).
+      requested_lsn_ = durable_lsn_;
+    }
+    flushed_cv_.notify_all();
   }
-  return PersistLocked();
+  flushed_cv_.notify_all();
 }
 
 void LogManager::SetMasterCheckpoint(Lsn lsn) {
@@ -324,6 +428,8 @@ void LogManager::SimulateCrash() {
   if (durable_lsn_ > trim_base_) {
     buf_.resize(durable_lsn_ - trim_base_);
   }
+  // No in-flight flush can complete past the crash point.
+  if (requested_lsn_ > durable_lsn_) requested_lsn_ = durable_lsn_;
   // Only a checkpoint whose record was durable survives the crash.
   master_ckpt_ = durable_master_ckpt_;
 }

@@ -9,9 +9,19 @@
 //
 // Record framing: [len:4][masked crc32c:4][payload]. A failed CRC or a
 // truncated frame marks the end of the recoverable log (torn tail).
+//
+// Group commit: with group commit enabled, FlushTo() callers enqueue their
+// target LSN and block on a condition variable while a dedicated flusher
+// thread performs one batched write+fsync that covers every waiter in the
+// group — committers pay one fsync per group, not one per transaction.
+// File-backed logs enable it by default; SetGroupCommit() toggles it (and
+// can force it for an in-memory log, where the "fsync" is a no-op, to
+// exercise the protocol in tests).
 
+#include <condition_variable>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "storage/buffer_manager.h"  // for LogFlusher
 #include "util/status.h"
@@ -26,6 +36,11 @@ namespace oir {
 struct TxnContext {
   TxnId txn_id = kInvalidTxnId;
   Lsn last_lsn = kInvalidLsn;
+  // LSN of the transaction's begin record. Logging is lazy: the begin
+  // record is appended immediately before the transaction's first real
+  // record, so a read-only transaction writes no log at all (and its
+  // commit needs no flush).
+  Lsn begin_lsn = kInvalidLsn;
 };
 
 class LogManager : public LogFlusher {
@@ -51,10 +66,18 @@ class LogManager : public LogFlusher {
   // Appends a record not belonging to any transaction chain.
   Lsn AppendSystem(LogRecord* rec);
 
-  // Durability.
+  // Durability. FlushTo returns once the record at `lsn` is durable; under
+  // group commit the calling thread may ride on a flush another committer
+  // triggered.
   Status FlushTo(Lsn lsn) override;
   Status FlushAll();
   Lsn durable_lsn() const;
+
+  // Toggles group commit. On by default for file-backed logs (Open); off
+  // for in-memory logs, where a flush is cheap enough to do synchronously —
+  // pass true to force the grouped protocol there (tests, benchmarks).
+  void SetGroupCommit(bool on);
+  bool group_commit() const;
 
   // LSN one past the last appended record (exclusive end of log).
   Lsn tail_lsn() const;
@@ -113,15 +136,33 @@ class LogManager : public LogFlusher {
  private:
   static constexpr Lsn kHeaderSize = 16;  // so that the first LSN != 0
 
-  Lsn AppendLocked(LogRecord* rec);
+  // Appends a pre-encoded payload: takes mu_ only for the buffer append
+  // (serialization and CRC are done by the caller, outside the lock).
+  Lsn AppendEncoded(LogRecord* rec, const std::string& payload);
   Status PersistLocked();        // append [file_synced_, tail) to the file
   Status PersistMasterLocked();  // rewrite the sidecar master record
+
+  // Group-commit machinery. The flusher thread sleeps on flush_cv_ until a
+  // waiter raises requested_lsn_ past durable_lsn_, then persists the whole
+  // tail under mu_ and wakes every waiter via flushed_cv_. Errors are
+  // published through an epoch counter so only the waiters of the failed
+  // round (and later) see them.
+  void FlusherLoop();
+  Status FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn);
 
   int fd_ = -1;                  // file-backed mode when >= 0
   std::string path_;
   Lsn file_synced_ = 0;          // LSN up to which the file is written
 
   mutable std::mutex mu_;
+  bool group_commit_ = false;          // guarded by mu_
+  bool stop_flusher_ = false;          // guarded by mu_
+  Lsn requested_lsn_ = 0;              // highest tail any waiter needs
+  uint64_t flush_err_seq_ = 0;         // bumped on each failed flush round
+  Status last_flush_error_;
+  std::condition_variable flush_cv_;   // wakes the flusher
+  std::condition_variable flushed_cv_; // wakes FlushTo waiters
+  std::thread flusher_;
   std::string buf_;        // log bytes from trim_lsn_ on, preceded by header
                            // padding; buf_[i] holds the byte at LSN
                            // trim_base_ + i
