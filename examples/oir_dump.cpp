@@ -5,6 +5,7 @@
 //   oir_dump <base-path> tree          tree structure (summarized leaves)
 //   oir_dump <base-path> tree --rows   ... with every leaf row
 //   oir_dump <base-path> stats         page/space/utilization statistics
+//   oir_dump <base-path> json          full stats snapshot as one JSON doc
 //   oir_dump <base-path> log [N]       the last N log records (default 50)
 //   oir_dump <base-path> pages         per-state page counts
 //
@@ -168,9 +169,13 @@ int main(int argc, char** argv) {
 
   if (cmd == "tree") return DumpTree(db.get(), rows);
   if (cmd == "stats") return DumpStats(db.get());
+  if (cmd == "json") {
+    std::printf("%s\n", db->DumpStatsJson().c_str());
+    return 0;
+  }
   if (cmd == "pages") return DumpPages(db.get());
   if (cmd == "log") return DumpLog(db.get(), limit);
-  std::fprintf(stderr, "unknown command '%s' (tree|stats|pages|log)\n",
+  std::fprintf(stderr, "unknown command '%s' (tree|stats|json|pages|log)\n",
                cmd.c_str());
   return 2;
 }

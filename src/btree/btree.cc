@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/coding.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -310,6 +311,9 @@ Status BTree::AbortNta(OpCtx op, NtaScope* nta) {
 
 Status BTree::Traverse(OpCtx op, const Slice& key, bool writer,
                        uint16_t target_level, PageRef* out, Path* path) {
+  static obs::TimerStat* const timer =
+      obs::MetricRegistry::Get().Timer("btree.traverse_ns");
+  obs::ScopedTimer scope(timer);
   auto& counters = GlobalCounters::Get();
   int restarts = -1;
 

@@ -2,6 +2,7 @@
 // propagation (Sections 2.2-2.4), and the logical-undo compensation hooks.
 
 #include "btree/btree.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace oir {
@@ -130,6 +131,7 @@ Status BTree::LeafSplit(OpCtx op, PageRef leaf, Path* path) {
     (void)rb;
     return s;
   }
+  OIR_TRACE(obs::TraceEventType::kSmoSplit, p0, n0);
   return EndNta(op, &nta);
 }
 
@@ -357,6 +359,7 @@ Status BTree::ShrinkLeaf(OpCtx op, PageRef leaf, const Slice& composite,
     return s;
   }
   OIR_RETURN_IF_ERROR(EndNta(op, &nta));
+  OIR_TRACE(obs::TraceEventType::kSmoShrink, p, 0);
 
   // Shrink frees its deallocated pages when the top action commits
   // (Section 4.1.3). Nothing was copied anywhere, so no flush ordering is

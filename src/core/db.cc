@@ -3,6 +3,9 @@
 #include <cstdio>
 
 #include "core/index.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "util/counters.h"
 
 namespace oir {
 
@@ -106,6 +109,7 @@ Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
   OIR_RETURN_IF_ERROR(rm.UndoLosers(db->tree_.get(), st));
   OIR_RETURN_IF_ERROR(rm.Finish(st));
   db->txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
+  obs::MetricRegistry::Get().SetReport("recovery", st->ToJson());
   *out = std::move(db);
   return Status::OK();
 }
@@ -135,6 +139,7 @@ Status Db::Checkpoint(Lsn* truncation_horizon) {
   OIR_RETURN_IF_ERROR(bm_->FlushAll());
   OIR_RETURN_IF_ERROR(log_->FlushAll());
   log_->SetMasterCheckpoint(ckpt_lsn);
+  OIR_TRACE(obs::TraceEventType::kCheckpoint, ckpt_lsn, 0);
 
   if (truncation_horizon != nullptr) {
     // The log before min(scan_start, oldest active begin) is dead: redo
@@ -167,14 +172,158 @@ Status Db::CrashAndRecover(RecoveryStats* stats) {
   tree_->ResetTransient();
 
   // Restart.
+  RecoveryStats local;
+  RecoveryStats* st = stats != nullptr ? stats : &local;
   ApplyContext ctx{bm_.get(), space_.get(), log_.get()};
   RecoveryManager rm(ctx);
-  OIR_RETURN_IF_ERROR(rm.AnalyzeAndRedo(stats));
+  OIR_RETURN_IF_ERROR(rm.AnalyzeAndRedo(st));
   OIR_RETURN_IF_ERROR(tree_->Open());
-  OIR_RETURN_IF_ERROR(rm.UndoLosers(tree_.get(), stats));
-  OIR_RETURN_IF_ERROR(rm.Finish(stats));
+  OIR_RETURN_IF_ERROR(rm.UndoLosers(tree_.get(), st));
+  OIR_RETURN_IF_ERROR(rm.Finish(st));
   txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
+  obs::MetricRegistry::Get().SetReport("recovery", st->ToJson());
   return Status::OK();
+}
+
+Status Db::GetStats(StatsReport* out) {
+  *out = StatsReport();
+  out->counters = GlobalCounters::Get().Snapshot();
+  out->pool_frames = bm_->pool_frames();
+  out->pool_shards = bm_->num_shards();
+  out->pool_cached_pages = bm_->CachedPages();
+  out->wal_tail_lsn = log_->tail_lsn();
+  out->wal_durable_lsn = log_->durable_lsn();
+  out->wal_bytes_appended = log_->TotalBytesAppended();
+  out->wal_group_commit = options_.wal_group_commit;
+  out->locked_keys = locks_->NumLockedKeys();
+  out->root_page = tree_->root();
+  out->pages_allocated = space_->CountInState(PageState::kAllocated);
+  out->pages_deallocated = space_->CountInState(PageState::kDeallocated);
+  out->end_page = space_->end_page();
+  auto& reg = obs::MetricRegistry::Get();
+  out->last_rebuild_json = reg.GetReport("rebuild");
+  out->last_recovery_json = reg.GetReport("recovery");
+  out->metrics = reg.TakeSnapshot();
+  return Status::OK();
+}
+
+std::string Db::DumpStatsJson() {
+  StatsReport r;
+  OIR_CHECK(GetStats(&r).ok());
+  obs::JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters").BeginObject();
+  r.counters.ForEach(
+      [&w](const char* name, uint64_t v) { w.Key(name).Value(v); });
+  w.EndObject();
+
+  w.Key("pool").BeginObject();
+  w.Key("frames").Value(r.pool_frames);
+  w.Key("shards").Value(r.pool_shards);
+  w.Key("cached_pages").Value(r.pool_cached_pages);
+  w.Key("hits").Value(r.counters.pool_hits);
+  w.Key("misses").Value(r.counters.pool_misses);
+  w.Key("evictions").Value(r.counters.pool_evictions);
+  w.Key("writebacks").Value(r.counters.pool_writebacks);
+  w.Key("prefetched").Value(r.counters.pool_prefetched);
+  w.EndObject();
+
+  w.Key("wal").BeginObject();
+  w.Key("tail_lsn").Value(r.wal_tail_lsn);
+  w.Key("durable_lsn").Value(r.wal_durable_lsn);
+  w.Key("bytes_appended").Value(r.wal_bytes_appended);
+  w.Key("group_commit").Value(r.wal_group_commit);
+  w.Key("records").Value(r.counters.log_records);
+  w.Key("flush_calls").Value(r.counters.log_flush_calls);
+  w.Key("fsyncs").Value(r.counters.log_fsyncs);
+  w.EndObject();
+
+  w.Key("lock").BeginObject();
+  w.Key("requests").Value(r.counters.lock_requests);
+  w.Key("waits").Value(r.counters.lock_waits);
+  w.Key("locked_keys").Value(r.locked_keys);
+  w.Key("watchdog_fires").Value(r.counters.lock_watchdog_fires);
+  w.Key("cond_failures").Value(r.counters.cond_lock_failures);
+  w.EndObject();
+
+  w.Key("btree").BeginObject();
+  w.Key("root_page").Value(static_cast<uint64_t>(r.root_page));
+  w.Key("traversal_restarts").Value(r.counters.traversal_restarts);
+  w.Key("blocked_traversals").Value(r.counters.blocked_traversals);
+  w.Key("level1_visits").Value(r.counters.level1_visits);
+  w.EndObject();
+
+  w.Key("space").BeginObject();
+  w.Key("allocated").Value(r.pages_allocated);
+  w.Key("deallocated").Value(r.pages_deallocated);
+  w.Key("end_page").Value(r.end_page);
+  w.EndObject();
+
+  w.Key("rebuild");
+  if (r.last_rebuild_json.empty()) {
+    w.BeginObject().EndObject();
+  } else {
+    w.RawValue(r.last_rebuild_json);
+  }
+  w.Key("recovery");
+  if (r.last_recovery_json.empty()) {
+    w.BeginObject().EndObject();
+  } else {
+    w.RawValue(r.last_recovery_json);
+  }
+
+  w.Key("timers").BeginObject();
+  for (const auto& t : r.metrics.timers) {
+    w.Key(t.name).BeginObject();
+    w.Key("count").Value(t.count);
+    w.Key("sum").Value(t.sum);
+    w.Key("min").Value(t.min);
+    w.Key("max").Value(t.max);
+    w.Key("mean").Value(t.mean);
+    w.Key("p50").Value(t.p50);
+    w.Key("p95").Value(t.p95);
+    w.Key("p99").Value(t.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+std::string Db::DumpStatsText() {
+  StatsReport r;
+  OIR_CHECK(GetStats(&r).ok());
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "pool: %llu/%llu pages cached, %llu shards\n",
+                (unsigned long long)r.pool_cached_pages,
+                (unsigned long long)r.pool_frames,
+                (unsigned long long)r.pool_shards);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "wal: tail=%llu durable=%llu appended=%llu group_commit=%d\n",
+                (unsigned long long)r.wal_tail_lsn,
+                (unsigned long long)r.wal_durable_lsn,
+                (unsigned long long)r.wal_bytes_appended,
+                r.wal_group_commit ? 1 : 0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "lock: %llu keys locked, %llu watchdog fires\n",
+                (unsigned long long)r.locked_keys,
+                (unsigned long long)r.counters.lock_watchdog_fires);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "space: %llu allocated, %llu deallocated, end_page=%llu\n",
+                (unsigned long long)r.pages_allocated,
+                (unsigned long long)r.pages_deallocated,
+                (unsigned long long)r.end_page);
+  out += buf;
+  out += "counters: " + r.counters.ToString() + "\n";
+  out += obs::MetricRegistry::Get().ToText();
+  return out;
 }
 
 }  // namespace oir

@@ -6,15 +6,51 @@
 // together, and drives crash simulation + restart recovery.
 
 #include <memory>
+#include <string>
 
 #include "btree/btree.h"
 #include "core/options.h"
+#include "obs/metrics.h"
 #include "recovery/recovery.h"
 #include "txn/transaction_manager.h"
 
 namespace oir {
 
 class Index;
+
+// One coherent stats snapshot across every subsystem (Db::GetStats).
+struct StatsReport {
+  CounterSnapshot counters;  // global event counters
+
+  // Buffer pool.
+  uint64_t pool_frames = 0;
+  uint64_t pool_shards = 0;
+  uint64_t pool_cached_pages = 0;
+
+  // WAL.
+  Lsn wal_tail_lsn = 0;
+  Lsn wal_durable_lsn = 0;
+  uint64_t wal_bytes_appended = 0;
+  bool wal_group_commit = false;
+
+  // Lock manager.
+  uint64_t locked_keys = 0;
+
+  // B-tree.
+  PageId root_page = kInvalidPageId;
+
+  // Space.
+  uint64_t pages_allocated = 0;
+  uint64_t pages_deallocated = 0;
+  uint64_t end_page = 0;
+
+  // Last rebuild / recovery of this process, as JSON objects ("" if none).
+  std::string last_rebuild_json;
+  std::string last_recovery_json;
+
+  // Registry view: every counter, gauge and timer histogram summary.
+  obs::MetricRegistry::Snapshot metrics;
+};
 
 class Db {
  public:
@@ -53,6 +89,17 @@ class Db {
 
   // Takes a checkpoint and then reclaims the no-longer-needed log prefix.
   Status CheckpointAndTruncate();
+
+  // Fills `out` with a stats snapshot spanning the buffer pool, WAL, lock
+  // manager, B-tree, space map, global counters and the metric registry.
+  Status GetStats(StatsReport* out);
+
+  // The same snapshot as one JSON document with "counters", "pool", "wal",
+  // "lock", "btree", "space", "rebuild", "recovery" and "timers" sections.
+  std::string DumpStatsJson();
+
+  // Human-readable rendering of the same snapshot.
+  std::string DumpStatsText();
 
   Index* index() { return index_.get(); }
   BTree* tree() { return tree_.get(); }

@@ -4,8 +4,10 @@
 // User-facing option structs.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
+#include "obs/progress.h"
 #include "storage/page.h"
 
 namespace oir {
@@ -83,6 +85,12 @@ struct RebuildOptions {
   // are about to be unlinked. PP always gets a SHRINK bit (it receives
   // rows). Default on; exposed for ablation.
   bool readers_during_copy = true;
+
+  // Invoked on the rebuild thread after every top action and transaction
+  // commit with a snapshot of the rebuild's progress. Must not call back
+  // into the database. Leave empty for no callbacks; other threads can also
+  // poll OnlineRebuilder::progress() directly.
+  std::function<void(const obs::RebuildProgress&)> on_progress;
 };
 
 struct RebuildResult {
@@ -97,6 +105,9 @@ struct RebuildResult {
   uint64_t wall_ns = 0;
   uint64_t level1_visits = 0;
   uint64_t io_ops = 0;
+
+  // JSON object with every field above (stats-export path).
+  std::string ToJson() const;
 };
 
 }  // namespace oir

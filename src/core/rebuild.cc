@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -41,6 +44,7 @@ struct OnlineRebuilder::Impl {
   SpaceManager* space;
   RebuildOptions opts;
   RebuildResult* result;
+  obs::RebuildProgressTracker* progress;
 
   // Rebuild position: largest composite key copied so far.
   std::string resume_key;
@@ -113,6 +117,10 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   impl.space = space_;
   impl.opts = options;
   impl.result = result;
+  impl.progress = &progress_;
+
+  progress_.Reset();
+  progress_.Begin(space_->CountInState(PageState::kAllocated));
 
   CounterSnapshot before = GlobalCounters::Get().Snapshot();
   uint64_t cpu0 = ThreadCpuNanos();
@@ -125,7 +133,30 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   result->log_records = delta.log_records;
   result->level1_visits = delta.level1_visits;
   result->io_ops = delta.io_ops;
+  progress_.Finish();
+  if (options.on_progress) options.on_progress(progress_.Load());
+  // The last completed rebuild is exported through the JSON stats path
+  // (Db::DumpStatsJson "rebuild" section).
+  obs::MetricRegistry::Get().SetReport("rebuild", result->ToJson());
   return s;
+}
+
+std::string RebuildResult::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("old_leaf_pages").Value(old_leaf_pages);
+  w.Key("new_leaf_pages").Value(new_leaf_pages);
+  w.Key("keys_moved").Value(keys_moved);
+  w.Key("top_actions").Value(top_actions);
+  w.Key("transactions").Value(transactions);
+  w.Key("log_bytes").Value(log_bytes);
+  w.Key("log_records").Value(log_records);
+  w.Key("cpu_ns").Value(cpu_ns);
+  w.Key("wall_ns").Value(wall_ns);
+  w.Key("level1_visits").Value(level1_visits);
+  w.Key("io_ops").Value(io_ops);
+  w.EndObject();
+  return w.str();
 }
 
 Status OnlineRebuilder::Impl::Run() {
@@ -140,9 +171,17 @@ Status OnlineRebuilder::Impl::Run() {
     Status s;
     while (pages_this_txn < opts.xactsize && !done) {
       size_t before = old_pages_txn.size();
+      OIR_TRACE(obs::TraceEventType::kTopActionBegin, result->top_actions, 0);
       s = TopAction(op, &path, &done);
+      const uint64_t delta = old_pages_txn.size() - before;
+      OIR_TRACE(obs::TraceEventType::kTopActionEnd, result->top_actions,
+                delta);
       if (!s.ok()) break;
-      pages_this_txn += static_cast<uint32_t>(old_pages_txn.size() - before);
+      pages_this_txn += static_cast<uint32_t>(delta);
+      progress->leaves_rebuilt.fetch_add(delta, std::memory_order_relaxed);
+      progress->top_actions.store(result->top_actions,
+                                  std::memory_order_relaxed);
+      if (opts.on_progress) opts.on_progress(progress->Load());
     }
     if (!s.ok()) {
       // Abort path (Section 4.1.3): the in-flight top action was already
@@ -165,10 +204,18 @@ Status OnlineRebuilder::Impl::Run() {
     }
     // Commit path (Section 3): force the new pages, commit, then free the
     // old pages found by scanning the transaction's log chain.
+    static obs::TimerStat* const flush_timer =
+        obs::MetricRegistry::Get().Timer("rebuild.flush_ns");
+    const uint64_t flush0 = NowNanos();
     OIR_RETURN_IF_ERROR(bm->FlushPages(flush_pages_txn, opts.io_pages));
     OIR_RETURN_IF_ERROR(tm->Commit(txn.get()));
     OIR_RETURN_IF_ERROR(FreeOldPagesViaLogScan(txn.get()));
+    const uint64_t flush_ns = NowNanos() - flush0;
+    progress->flush_us.fetch_add(flush_ns / 1000, std::memory_order_relaxed);
+    if (obs::MetricRegistry::timers_enabled()) flush_timer->Record(flush_ns);
     ++result->transactions;
+    progress->transactions.fetch_add(1, std::memory_order_relaxed);
+    if (opts.on_progress) opts.on_progress(progress->Load());
   }
   return Status::OK();
 }
@@ -250,6 +297,7 @@ Status OnlineRebuilder::Impl::LockBatch(OpCtx op, BTree::NtaScope* nta,
     }
     {
       const PageId p1_id = p1.id();
+      progress->current_page.store(p1_id, std::memory_order_relaxed);
       const PageId prev_guess = p1.header()->prev_page;
       p1.latch().UnlockX();
       p1.Release();
@@ -348,7 +396,13 @@ Status OnlineRebuilder::Impl::LockBatch(OpCtx op, BTree::NtaScope* nta,
         }
         Status cs = locks->Lock(op.id, AddressLockKey(next), LockMode::kX,
                                 /*conditional=*/true);
-        if (cs.IsBusy()) break;  // truncate the batch (Section 4.1.1)
+        if (cs.IsBusy()) {
+          // Truncate the batch (Section 4.1.1).
+          progress->batches_truncated.fetch_add(1, std::memory_order_relaxed);
+          OIR_TRACE(obs::TraceEventType::kTopActionTruncate, next,
+                    batch->size());
+          break;
+        }
         OIR_RETURN_IF_ERROR(cs);
         // Revalidate adjacency now that the lock pins the link.
         PageRef chk;
@@ -376,12 +430,29 @@ Status OnlineRebuilder::Impl::LockBatch(OpCtx op, BTree::NtaScope* nta,
     }
   retry:
     // Undo nothing — no bits were set before this point on this attempt.
+    progress->retries.fetch_add(1, std::memory_order_relaxed);
     continue;
   }
 }
 
 Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
                                         bool* done) {
+  static obs::TimerStat* const copy_timer =
+      obs::MetricRegistry::Get().Timer("rebuild.copy_ns");
+  static obs::TimerStat* const prop_timer =
+      obs::MetricRegistry::Get().Timer("rebuild.propagate_ns");
+  const uint64_t ta = result->top_actions;  // ordinal for trace correlation
+  const uint64_t copy0 = NowNanos();
+  OIR_TRACE(obs::TraceEventType::kCopyPhaseBegin, ta, 0);
+  // Copy phase = lock the batch + copy the rows (Section 4.1). Charged as
+  // one phase; ends before propagation begins.
+  auto end_copy = [&](uint64_t pages) {
+    const uint64_t ns = NowNanos() - copy0;
+    progress->copy_us.fetch_add(ns / 1000, std::memory_order_relaxed);
+    if (obs::MetricRegistry::timers_enabled()) copy_timer->Record(ns);
+    OIR_TRACE(obs::TraceEventType::kCopyPhaseEnd, ta, pages);
+  };
+
   std::string skey =
       has_resume ? resume_key + std::string(1, '\0') : std::string();
 
@@ -394,6 +465,7 @@ Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
   Status s = LockBatch(op, &nta, Slice(skey), &pp_id, &batch, &np_id, done);
   if (!s.ok() || *done) {
     tree->ReleaseNtaResources(op, &nta);
+    end_copy(0);
     return s;
   }
 
@@ -404,6 +476,10 @@ Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
   bool have_pp_route = false;
   s = CopyPhase(op, &nta, pp_id, batch, np_id, &leaf_entries, &pp_route_key,
                 &have_pp_route);
+  end_copy(batch.size());
+  const bool prop_began = s.ok();
+  const uint64_t prop0 = NowNanos();
+  if (prop_began) OIR_TRACE(obs::TraceEventType::kPropagatePhaseBegin, ta, 0);
   if (s.ok() && batch_is_root_leaf) {
     // Height-1 tree: there is no level 1 to propagate into. The new pages
     // either become the root directly (one page) or get a fresh level-1
@@ -439,6 +515,12 @@ Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
   } else if (s.ok()) {
     s = Propagate(op, &nta, std::move(leaf_entries), 1, pp_route_key,
                   have_pp_route, path);
+  }
+  if (prop_began) {
+    const uint64_t ns = NowNanos() - prop0;
+    progress->propagate_us.fetch_add(ns / 1000, std::memory_order_relaxed);
+    if (obs::MetricRegistry::timers_enabled()) prop_timer->Record(ns);
+    OIR_TRACE(obs::TraceEventType::kPropagatePhaseEnd, ta, 0);
   }
   if (!s.ok()) {
     Status rb = tree->AbortNta(op, &nta);

@@ -36,6 +36,7 @@
 
 #include "btree/btree.h"
 #include "core/options.h"
+#include "obs/progress.h"
 #include "txn/transaction_manager.h"
 
 namespace oir {
@@ -50,9 +51,15 @@ class OnlineRebuilder {
   // action are restricted.
   Status Run(const RebuildOptions& options, RebuildResult* result);
 
+  // Progress snapshot, pollable from any thread while Run executes (and
+  // after: `done` stays set). leaves_total is an allocated-page upper-bound
+  // estimate taken at the start of the run.
+  obs::RebuildProgress progress() const { return progress_.Load(); }
+
  private:
   struct Impl;
 
+  obs::RebuildProgressTracker progress_;
   BTree* const tree_;
   TransactionManager* const tm_;
   BufferManager* const bm_;

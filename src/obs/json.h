@@ -1,0 +1,52 @@
+#ifndef OIR_OBS_JSON_H_
+#define OIR_OBS_JSON_H_
+
+// Minimal JSON emission and validation. No external dependency: the stats
+// and trace dumps are built with JsonWriter, and tests / the dump_stats
+// smoke assert well-formedness with JsonIsValid (a strict RFC 8259
+// recursive-descent checker).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oir::obs {
+
+// Streaming writer that tracks nesting and inserts commas. Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("n").Value(42u).EndObject();
+//   w.str()  // {"n":42}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(double v);  // non-finite values are emitted as 0
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(const char* s);
+  JsonWriter& Value(const std::string& s);
+  // Splices a pre-built JSON value (e.g. Histogram::ToJson()) in place.
+  JsonWriter& RawValue(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(const std::string& s);
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+// Strict syntax validation of a complete JSON document.
+bool JsonIsValid(const std::string& text);
+
+}  // namespace oir::obs
+
+#endif  // OIR_OBS_JSON_H_

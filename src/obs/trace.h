@@ -1,0 +1,114 @@
+#ifndef OIR_OBS_TRACE_H_
+#define OIR_OBS_TRACE_H_
+
+// Lock-free event trace: fixed-size ring buffers with per-thread write
+// cursors (threads are striped over kNumRings rings; claiming a slot is one
+// fetch_add on the ring's cursor, almost always uncontended), binary
+// records with a monotonic timestamp. Compiled in always; when disabled the
+// OIR_TRACE macro is a single relaxed load.
+//
+// Dumpable as plain JSON (DumpJson) and as a chrome://tracing document
+// (DumpChromeTracing): save the latter to a file and load it at
+// chrome://tracing or https://ui.perfetto.dev.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oir::obs {
+
+enum class TraceEventType : uint8_t {
+  kNone = 0,
+  kTopActionBegin,      // arg0 = top-action ordinal, arg1 = 0
+  kTopActionEnd,        // arg0 = top-action ordinal, arg1 = leaves in batch
+  kTopActionTruncate,   // arg0 = busy page,          arg1 = batch size so far
+  kSmoSplit,            // arg0 = old page,           arg1 = new page
+  kSmoShrink,           // arg0 = freed page,         arg1 = 0
+  kCondLockFail,        // arg0 = lock key id,        arg1 = requester txn
+  kLockWaitBegin,       // arg0 = lock key id,        arg1 = requester txn
+  kLockWaitEnd,         // arg0 = lock key id,        arg1 = requester txn
+  kLockWatchdog,        // arg0 = lock key id,        arg1 = holder txn
+  kGroupCommitFlush,    // arg0 = durable lsn,        arg1 = bytes this round
+  kCheckpoint,          // arg0 = checkpoint lsn,     arg1 = 0
+  kCopyPhaseBegin,      // arg0 = top-action ordinal, arg1 = 0
+  kCopyPhaseEnd,        // arg0 = top-action ordinal, arg1 = keys copied
+  kPropagatePhaseBegin, // arg0 = top-action ordinal, arg1 = 0
+  kPropagatePhaseEnd,   // arg0 = top-action ordinal, arg1 = 0
+};
+
+const char* TraceEventName(TraceEventType t);
+
+struct TraceRecord {
+  uint64_t ts_ns = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint32_t tid = 0;
+  TraceEventType type = TraceEventType::kNone;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kNumRings = 16;
+  static constexpr size_t kRingCapacity = 1 << 12;  // records per ring
+
+  static TraceBuffer& Get();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  // Enabling allocates the rings on first use (~2 MiB) and keeps them.
+  void SetEnabled(bool on);
+  void Clear();
+
+  void Record(TraceEventType type, uint64_t arg0, uint64_t arg1);
+
+  // Merged, timestamp-sorted view of everything currently buffered. Each
+  // ring keeps its most recent kRingCapacity records; a slot being
+  // overwritten concurrently with the dump can yield one stale record per
+  // ring (fields are individually atomic — never torn words).
+  std::vector<TraceRecord> Snapshot() const;
+
+  // {"events":[{"ts_ns":..,"type":"..","tid":..,"arg0":..,"arg1":..},...]}
+  std::string DumpJson() const;
+  // chrome://tracing "traceEvents" document: begin/end event pairs become
+  // duration ("B"/"E") slices, everything else instant ("i") events.
+  std::string DumpChromeTracing() const;
+
+ private:
+  // Each logical record is 5 relaxed atomic words so concurrent
+  // overwrite-during-dump is benign under TSan.
+  struct Slot {
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+    std::atomic<uint32_t> tid{0};
+    std::atomic<uint8_t> type{0};
+  };
+  struct alignas(64) Ring {
+    std::atomic<uint64_t> cursor{0};  // total records ever written
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  TraceBuffer() = default;
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex init_mu_;
+  std::atomic<bool> allocated_{false};
+  std::unique_ptr<Ring[]> rings_;
+};
+
+}  // namespace oir::obs
+
+// Record an event iff tracing is enabled; one relaxed load otherwise.
+#define OIR_TRACE(type, arg0, arg1)                                   \
+  do {                                                                \
+    if (::oir::obs::TraceBuffer::enabled()) {                         \
+      ::oir::obs::TraceBuffer::Get().Record((type), (arg0), (arg1));  \
+    }                                                                 \
+  } while (0)
+
+#endif  // OIR_OBS_TRACE_H_

@@ -21,6 +21,21 @@ std::string RecoveryStats::ToString() const {
   return std::string(buf);
 }
 
+std::string RecoveryStats::ToJson() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"records_scanned\":%llu,\"records_redone\":%llu,"
+                "\"loser_txns\":%llu,\"records_undone\":%llu,"
+                "\"pages_freed\":%llu,\"bits_cleared\":%llu}",
+                (unsigned long long)records_scanned,
+                (unsigned long long)records_redone,
+                (unsigned long long)loser_txns,
+                (unsigned long long)records_undone,
+                (unsigned long long)pages_freed,
+                (unsigned long long)bits_cleared);
+  return std::string(buf);
+}
+
 Status RecoveryManager::AnalyzeAndRedo(RecoveryStats* stats) {
   ctx_.space->ResetForRecovery();
   losers_.clear();

@@ -36,6 +36,8 @@ struct RecoveryStats {
   uint64_t bits_cleared = 0;
 
   std::string ToString() const;
+  // JSON object with every field (stats-export path).
+  std::string ToJson() const;
 };
 
 class RecoveryManager {

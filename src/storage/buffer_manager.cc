@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
@@ -182,6 +183,9 @@ Status BufferManager::WriteBack(size_t frame) {
 
 Status BufferManager::Fetch(PageId id, PageRef* out) {
   OIR_CHECK(id != kInvalidPageId);
+  static obs::TimerStat* const timer =
+      obs::MetricRegistry::Get().Timer("pool.fetch_ns");
+  obs::ScopedTimer scope(timer);
   auto& c = GlobalCounters::Get();
   Shard& sh = ShardOf(id);
   std::unique_lock<std::mutex> lk(sh.mu);

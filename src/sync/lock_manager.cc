@@ -1,11 +1,24 @@
 #include "sync/lock_manager.h"
 
 #include <condition_variable>
+#include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
 namespace oir {
+
+namespace {
+
+const char* SpaceName(LockSpace s) {
+  return s == LockSpace::kAddress ? "page" : "row";
+}
+
+const char* ModeName(LockMode m) { return m == LockMode::kX ? "X" : "S"; }
+
+}  // namespace
 
 struct LockManager::Shard {
   mutable std::mutex mu;
@@ -31,8 +44,37 @@ bool LockManager::Grantable(const Entry& e, TxnId owner, LockMode mode) {
   return true;
 }
 
+void LockManager::WatchdogFire(const Entry& e, const LockKey& key,
+                               TxnId owner, LockMode mode,
+                               std::chrono::milliseconds waited) {
+  GlobalCounters::Get().lock_watchdog_fires.fetch_add(
+      1, std::memory_order_relaxed);
+  TxnId holder_id = 0;
+  LockMode holder_mode = LockMode::kS;
+  uint32_t holder_count = 0;
+  for (const auto& [h, hold] : e.granted) {
+    if (h == owner) continue;
+    holder_id = h;
+    holder_mode = hold.mode;
+    holder_count = hold.count;
+    break;
+  }
+  OIR_TRACE(obs::TraceEventType::kLockWatchdog, key.id, holder_id);
+  std::fprintf(stderr,
+               "[oir] lock watchdog: txn %llu has waited %lld ms for %s lock "
+               "on %s %llu; current holder: txn %llu (%s, count %u)\n",
+               static_cast<unsigned long long>(owner),
+               static_cast<long long>(waited.count()), ModeName(mode),
+               SpaceName(key.space), static_cast<unsigned long long>(key.id),
+               static_cast<unsigned long long>(holder_id),
+               ModeName(holder_mode), holder_count);
+}
+
 Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
                          bool conditional) {
+  static obs::TimerStat* const timer =
+      obs::MetricRegistry::Get().Timer("lock.acquire_ns");
+  obs::ScopedTimer scope(timer);
   auto& c = GlobalCounters::Get();
   c.lock_requests.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
@@ -49,17 +91,37 @@ Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
   if (!Grantable(e, owner, mode)) {
     if (conditional) {
       if (e.granted.empty()) shard.table.erase(key);
+      c.cond_lock_failures.fetch_add(1, std::memory_order_relaxed);
+      OIR_TRACE(obs::TraceEventType::kCondLockFail, key.id, owner);
       return Status::Busy("lock not available");
     }
     c.lock_waits.fetch_add(1, std::memory_order_relaxed);
-    auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+    OIR_TRACE(obs::TraceEventType::kLockWaitBegin, key.id, owner);
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + wait_timeout_;
+    const int64_t wd_ms = long_wait_ms_.load(std::memory_order_relaxed);
+    const auto watchdog_at = start + std::chrono::milliseconds(wd_ms);
+    bool watchdog_fired = wd_ms <= 0;  // 0 disables
     while (!Grantable(shard.table[key], owner, mode)) {
-      if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-        Entry& e2 = shard.table[key];
-        if (e2.granted.empty()) shard.table.erase(key);
-        return Status::Aborted("lock wait timeout (possible deadlock)");
+      auto wake = deadline;
+      if (!watchdog_fired && watchdog_at < wake) wake = watchdog_at;
+      if (shard.cv.wait_until(lk, wake) == std::cv_status::timeout) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          OIR_TRACE(obs::TraceEventType::kLockWaitEnd, key.id, owner);
+          Entry& e2 = shard.table[key];
+          if (e2.granted.empty()) shard.table.erase(key);
+          return Status::Aborted("lock wait timeout (possible deadlock)");
+        }
+        if (!watchdog_fired && now >= watchdog_at) {
+          watchdog_fired = true;
+          WatchdogFire(shard.table[key], key, owner, mode,
+                       std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - start));
+        }
       }
     }
+    OIR_TRACE(obs::TraceEventType::kLockWaitEnd, key.id, owner);
   }
 
   Entry& e3 = shard.table[key];
@@ -76,6 +138,9 @@ Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
 
 Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
                                 bool conditional) {
+  static obs::TimerStat* const timer =
+      obs::MetricRegistry::Get().Timer("lock.acquire_ns");
+  obs::ScopedTimer scope(timer);
   auto& c = GlobalCounters::Get();
   c.lock_requests.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
@@ -84,16 +149,42 @@ Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
   if (it == shard.table.end() || Grantable(it->second, owner, mode)) {
     return Status::OK();
   }
-  if (conditional) return Status::Busy("lock not available");
+  if (conditional) {
+    c.cond_lock_failures.fetch_add(1, std::memory_order_relaxed);
+    OIR_TRACE(obs::TraceEventType::kCondLockFail, key.id, owner);
+    return Status::Busy("lock not available");
+  }
   c.lock_waits.fetch_add(1, std::memory_order_relaxed);
-  auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+  OIR_TRACE(obs::TraceEventType::kLockWaitBegin, key.id, owner);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + wait_timeout_;
+  const int64_t wd_ms = long_wait_ms_.load(std::memory_order_relaxed);
+  const auto watchdog_at = start + std::chrono::milliseconds(wd_ms);
+  bool watchdog_fired = wd_ms <= 0;
   for (;;) {
     auto it2 = shard.table.find(key);
     if (it2 == shard.table.end() || Grantable(it2->second, owner, mode)) {
+      OIR_TRACE(obs::TraceEventType::kLockWaitEnd, key.id, owner);
       return Status::OK();
     }
-    if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-      return Status::Aborted("lock wait timeout (possible deadlock)");
+    auto wake = deadline;
+    if (!watchdog_fired && watchdog_at < wake) wake = watchdog_at;
+    if (shard.cv.wait_until(lk, wake) == std::cv_status::timeout) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        OIR_TRACE(obs::TraceEventType::kLockWaitEnd, key.id, owner);
+        return Status::Aborted("lock wait timeout (possible deadlock)");
+      }
+      if (!watchdog_fired && now >= watchdog_at) {
+        watchdog_fired = true;
+        // Re-find: the wait released the mutex, so it2 may be stale.
+        auto it3 = shard.table.find(key);
+        if (it3 != shard.table.end()) {
+          WatchdogFire(it3->second, key, owner, mode,
+                       std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - start));
+        }
+      }
     }
   }
 }

@@ -22,6 +22,7 @@
 // possible. A wait timeout (default 10 s) converts a suspected logical-lock
 // deadlock into Status::Aborted, making the requester the victim.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <list>
@@ -95,6 +96,13 @@ class LockManager {
 
   void set_wait_timeout(std::chrono::milliseconds t) { wait_timeout_ = t; }
 
+  // Long-wait watchdog: a waiter blocked longer than this emits a trace
+  // event and a stderr diagnostic naming the blocked key, the requester and
+  // the current holder (once per wait). 0 disables the watchdog.
+  void set_long_wait_threshold(std::chrono::milliseconds t) {
+    long_wait_ms_.store(t.count(), std::memory_order_relaxed);
+  }
+
  private:
   struct Shard;
 
@@ -112,9 +120,15 @@ class LockManager {
 
   Shard& ShardFor(const LockKey& key) const;
 
+  // Emits the long-wait diagnostic. The shard mutex must be held (the
+  // holder set is inspected in place).
+  static void WatchdogFire(const Entry& e, const LockKey& key, TxnId owner,
+                           LockMode mode, std::chrono::milliseconds waited);
+
   static constexpr size_t kNumShards = 16;
   Shard* shards_;
   std::chrono::milliseconds wait_timeout_;
+  std::atomic<int64_t> long_wait_ms_{1000};
 };
 
 }  // namespace oir

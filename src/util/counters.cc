@@ -11,76 +11,28 @@ GlobalCounters& GlobalCounters::Get() {
 
 CounterSnapshot GlobalCounters::Snapshot() const {
   CounterSnapshot s;
-  s.latch_acquires = latch_acquires.load(std::memory_order_relaxed);
-  s.latch_waits = latch_waits.load(std::memory_order_relaxed);
-  s.lock_requests = lock_requests.load(std::memory_order_relaxed);
-  s.lock_waits = lock_waits.load(std::memory_order_relaxed);
-  s.log_records = log_records.load(std::memory_order_relaxed);
-  s.log_bytes = log_bytes.load(std::memory_order_relaxed);
-  s.pages_read = pages_read.load(std::memory_order_relaxed);
-  s.pages_written = pages_written.load(std::memory_order_relaxed);
-  s.io_ops = io_ops.load(std::memory_order_relaxed);
-  s.io_read_ops = io_read_ops.load(std::memory_order_relaxed);
-  s.io_write_ops = io_write_ops.load(std::memory_order_relaxed);
-  s.level1_visits = level1_visits.load(std::memory_order_relaxed);
-  s.traversal_restarts = traversal_restarts.load(std::memory_order_relaxed);
-  s.blocked_traversals = blocked_traversals.load(std::memory_order_relaxed);
-  s.pool_hits = pool_hits.load(std::memory_order_relaxed);
-  s.pool_misses = pool_misses.load(std::memory_order_relaxed);
-  s.pool_evictions = pool_evictions.load(std::memory_order_relaxed);
-  s.pool_writebacks = pool_writebacks.load(std::memory_order_relaxed);
-  s.pool_prefetched = pool_prefetched.load(std::memory_order_relaxed);
-  s.log_flush_calls = log_flush_calls.load(std::memory_order_relaxed);
-  s.log_fsyncs = log_fsyncs.load(std::memory_order_relaxed);
+#define OIR_COUNTER_LOAD(name) s.name = name.load(std::memory_order_relaxed);
+  OIR_COUNTER_FIELDS(OIR_COUNTER_LOAD)
+#undef OIR_COUNTER_LOAD
   return s;
 }
 
 void GlobalCounters::Reset() {
-  latch_acquires.store(0, std::memory_order_relaxed);
-  latch_waits.store(0, std::memory_order_relaxed);
-  lock_requests.store(0, std::memory_order_relaxed);
-  lock_waits.store(0, std::memory_order_relaxed);
-  log_records.store(0, std::memory_order_relaxed);
-  log_bytes.store(0, std::memory_order_relaxed);
-  pages_read.store(0, std::memory_order_relaxed);
-  pages_written.store(0, std::memory_order_relaxed);
-  io_ops.store(0, std::memory_order_relaxed);
-  io_read_ops.store(0, std::memory_order_relaxed);
-  io_write_ops.store(0, std::memory_order_relaxed);
-  level1_visits.store(0, std::memory_order_relaxed);
-  traversal_restarts.store(0, std::memory_order_relaxed);
-  blocked_traversals.store(0, std::memory_order_relaxed);
-  pool_hits.store(0, std::memory_order_relaxed);
-  pool_misses.store(0, std::memory_order_relaxed);
-  pool_evictions.store(0, std::memory_order_relaxed);
-  pool_writebacks.store(0, std::memory_order_relaxed);
-  pool_prefetched.store(0, std::memory_order_relaxed);
-  log_flush_calls.store(0, std::memory_order_relaxed);
-  log_fsyncs.store(0, std::memory_order_relaxed);
+#define OIR_COUNTER_ZERO(name) name.store(0, std::memory_order_relaxed);
+  OIR_COUNTER_FIELDS(OIR_COUNTER_ZERO)
+#undef OIR_COUNTER_ZERO
 }
 
 std::string CounterSnapshot::ToString() const {
-  char buf[768];
-  std::snprintf(
-      buf, sizeof(buf),
-      "latch_acquires=%llu latch_waits=%llu lock_requests=%llu "
-      "lock_waits=%llu log_records=%llu log_bytes=%llu pages_read=%llu "
-      "pages_written=%llu io_ops=%llu level1_visits=%llu "
-      "traversal_restarts=%llu blocked_traversals=%llu pool_hits=%llu "
-      "pool_misses=%llu pool_evictions=%llu pool_writebacks=%llu "
-      "pool_prefetched=%llu log_flush_calls=%llu log_fsyncs=%llu",
-      (unsigned long long)latch_acquires, (unsigned long long)latch_waits,
-      (unsigned long long)lock_requests, (unsigned long long)lock_waits,
-      (unsigned long long)log_records, (unsigned long long)log_bytes,
-      (unsigned long long)pages_read, (unsigned long long)pages_written,
-      (unsigned long long)io_ops, (unsigned long long)level1_visits,
-      (unsigned long long)traversal_restarts,
-      (unsigned long long)blocked_traversals, (unsigned long long)pool_hits,
-      (unsigned long long)pool_misses, (unsigned long long)pool_evictions,
-      (unsigned long long)pool_writebacks,
-      (unsigned long long)pool_prefetched,
-      (unsigned long long)log_flush_calls, (unsigned long long)log_fsyncs);
-  return std::string(buf);
+  std::string out;
+  out.reserve(768);
+  ForEach([&out](const char* name, uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s%s=%llu", out.empty() ? "" : " ", name,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  });
+  return out;
 }
 
 }  // namespace oir

@@ -5,6 +5,10 @@
 // discusses: latch-manager and lock-manager calls, log volume, page I/O and
 // level-1 page visits (Section 4.3, Section 6.4). Benchmarks snapshot and
 // reset these around measured regions.
+//
+// The field set is defined once, in OIR_COUNTER_FIELDS; the snapshot
+// struct, the atomic struct, operator-, Snapshot(), Reset(), ToString() and
+// the per-field visitors are all generated from it, so they cannot drift.
 
 #include <atomic>
 #include <cstdint>
@@ -12,53 +16,51 @@
 
 namespace oir {
 
+// V(name) for every counter. Add new counters here and nowhere else.
+#define OIR_COUNTER_FIELDS(V) \
+  V(latch_acquires)           \
+  V(latch_waits)              \
+  V(lock_requests)            \
+  V(lock_waits)               \
+  V(lock_watchdog_fires)      \
+  V(cond_lock_failures)       \
+  V(log_records)              \
+  V(log_bytes)                \
+  V(pages_read)               \
+  V(pages_written)            \
+  V(io_ops)                   \
+  V(io_read_ops)              \
+  V(io_write_ops)             \
+  V(level1_visits)            \
+  V(traversal_restarts)       \
+  V(blocked_traversals)       \
+  V(pool_hits)                \
+  V(pool_misses)              \
+  V(pool_evictions)           \
+  V(pool_writebacks)          \
+  V(pool_prefetched)          \
+  V(log_flush_calls)          \
+  V(log_fsyncs)
+
 struct CounterSnapshot {
-  uint64_t latch_acquires = 0;
-  uint64_t latch_waits = 0;
-  uint64_t lock_requests = 0;
-  uint64_t lock_waits = 0;
-  uint64_t log_records = 0;
-  uint64_t log_bytes = 0;
-  uint64_t pages_read = 0;
-  uint64_t pages_written = 0;
-  uint64_t io_ops = 0;
-  uint64_t io_read_ops = 0;
-  uint64_t io_write_ops = 0;
-  uint64_t level1_visits = 0;
-  uint64_t traversal_restarts = 0;
-  uint64_t blocked_traversals = 0;
-  uint64_t pool_hits = 0;
-  uint64_t pool_misses = 0;
-  uint64_t pool_evictions = 0;
-  uint64_t pool_writebacks = 0;
-  uint64_t pool_prefetched = 0;
-  uint64_t log_flush_calls = 0;
-  uint64_t log_fsyncs = 0;
+#define OIR_COUNTER_DECL(name) uint64_t name = 0;
+  OIR_COUNTER_FIELDS(OIR_COUNTER_DECL)
+#undef OIR_COUNTER_DECL
 
   CounterSnapshot operator-(const CounterSnapshot& b) const {
     CounterSnapshot r;
-    r.latch_acquires = latch_acquires - b.latch_acquires;
-    r.latch_waits = latch_waits - b.latch_waits;
-    r.lock_requests = lock_requests - b.lock_requests;
-    r.lock_waits = lock_waits - b.lock_waits;
-    r.log_records = log_records - b.log_records;
-    r.log_bytes = log_bytes - b.log_bytes;
-    r.pages_read = pages_read - b.pages_read;
-    r.pages_written = pages_written - b.pages_written;
-    r.io_ops = io_ops - b.io_ops;
-    r.io_read_ops = io_read_ops - b.io_read_ops;
-    r.io_write_ops = io_write_ops - b.io_write_ops;
-    r.level1_visits = level1_visits - b.level1_visits;
-    r.traversal_restarts = traversal_restarts - b.traversal_restarts;
-    r.blocked_traversals = blocked_traversals - b.blocked_traversals;
-    r.pool_hits = pool_hits - b.pool_hits;
-    r.pool_misses = pool_misses - b.pool_misses;
-    r.pool_evictions = pool_evictions - b.pool_evictions;
-    r.pool_writebacks = pool_writebacks - b.pool_writebacks;
-    r.pool_prefetched = pool_prefetched - b.pool_prefetched;
-    r.log_flush_calls = log_flush_calls - b.log_flush_calls;
-    r.log_fsyncs = log_fsyncs - b.log_fsyncs;
+#define OIR_COUNTER_SUB(name) r.name = name - b.name;
+    OIR_COUNTER_FIELDS(OIR_COUNTER_SUB)
+#undef OIR_COUNTER_SUB
     return r;
+  }
+
+  // Calls fn(name, value) for every field, in declaration order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+#define OIR_COUNTER_VISIT(name) fn(#name, name);
+    OIR_COUNTER_FIELDS(OIR_COUNTER_VISIT)
+#undef OIR_COUNTER_VISIT
   }
 
   std::string ToString() const;
@@ -68,30 +70,20 @@ class GlobalCounters {
  public:
   static GlobalCounters& Get();
 
-  std::atomic<uint64_t> latch_acquires{0};
-  std::atomic<uint64_t> latch_waits{0};
-  std::atomic<uint64_t> lock_requests{0};
-  std::atomic<uint64_t> lock_waits{0};
-  std::atomic<uint64_t> log_records{0};
-  std::atomic<uint64_t> log_bytes{0};
-  std::atomic<uint64_t> pages_read{0};
-  std::atomic<uint64_t> pages_written{0};
-  std::atomic<uint64_t> io_ops{0};
-  std::atomic<uint64_t> io_read_ops{0};
-  std::atomic<uint64_t> io_write_ops{0};
-  std::atomic<uint64_t> level1_visits{0};
-  std::atomic<uint64_t> traversal_restarts{0};
-  std::atomic<uint64_t> blocked_traversals{0};
-  std::atomic<uint64_t> pool_hits{0};
-  std::atomic<uint64_t> pool_misses{0};
-  std::atomic<uint64_t> pool_evictions{0};
-  std::atomic<uint64_t> pool_writebacks{0};
-  std::atomic<uint64_t> pool_prefetched{0};
-  std::atomic<uint64_t> log_flush_calls{0};
-  std::atomic<uint64_t> log_fsyncs{0};
+#define OIR_COUNTER_DECL(name) std::atomic<uint64_t> name{0};
+  OIR_COUNTER_FIELDS(OIR_COUNTER_DECL)
+#undef OIR_COUNTER_DECL
 
   CounterSnapshot Snapshot() const;
   void Reset();
+
+  // Calls fn(name, atomic&) for every field, in declaration order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+#define OIR_COUNTER_VISIT(name) fn(#name, name);
+    OIR_COUNTER_FIELDS(OIR_COUNTER_VISIT)
+#undef OIR_COUNTER_VISIT
+  }
 
  private:
   GlobalCounters() = default;

@@ -66,6 +66,11 @@ uint64_t Histogram::Count() const {
   return count_;
 }
 
+uint64_t Histogram::Sum() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sum_;
+}
+
 uint64_t Histogram::Min() const {
   std::lock_guard<std::mutex> l(mu_);
   return count_ == 0 ? 0 : min_;
@@ -82,33 +87,83 @@ double Histogram::Mean() const {
   return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
-double Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> l(mu_);
+double Histogram::PercentileLocked(double p) const {
   if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min_);
+  if (p >= 100.0) return static_cast<double>(max_);
   const auto& limits = BucketLimits();
-  uint64_t threshold = static_cast<uint64_t>((p / 100.0) * count_);
-  uint64_t seen = 0;
+  const double threshold = (p / 100.0) * static_cast<double>(count_);
+  double seen = 0.0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
+    if (buckets_[i] == 0) continue;
+    const double prev_seen = seen;
+    seen += static_cast<double>(buckets_[i]);
     if (seen >= threshold) {
-      // Return bucket upper bound (conservative).
-      uint64_t hi = limits[i];
-      return static_cast<double>(std::min(hi, max_));
+      // Linear interpolation inside bucket i, which covers (lo, hi].
+      const double lo = i == 0 ? 0.0 : static_cast<double>(limits[i - 1]);
+      const double hi = static_cast<double>(limits[i]);
+      const double frac =
+          (threshold - prev_seen) / static_cast<double>(buckets_[i]);
+      double v = lo + frac * (hi - lo);
+      v = std::max(v, static_cast<double>(min_));
+      v = std::min(v, static_cast<double>(max_));
+      return v;
     }
   }
   return static_cast<double>(max_);
 }
 
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return PercentileLocked(p);
+}
+
 std::string Histogram::ToString() const {
+  std::lock_guard<std::mutex> l(mu_);
+  const unsigned long long mn = count_ == 0 ? 0ULL : min_;
+  const double mean =
+      count_ == 0 ? 0.0
+                  : static_cast<double>(sum_) / static_cast<double>(count_);
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.1f min=%llu max=%llu p50=%.0f p95=%.0f "
                 "p99=%.0f",
-                static_cast<unsigned long long>(Count()), Mean(),
-                static_cast<unsigned long long>(Min()),
-                static_cast<unsigned long long>(Max()), Percentile(50),
-                Percentile(95), Percentile(99));
+                static_cast<unsigned long long>(count_), mean, mn,
+                static_cast<unsigned long long>(max_), PercentileLocked(50),
+                PercentileLocked(95), PercentileLocked(99));
   return std::string(buf);
+}
+
+std::string Histogram::ToJson() const {
+  std::lock_guard<std::mutex> l(mu_);
+  const auto& limits = BucketLimits();
+  const unsigned long long mn = count_ == 0 ? 0ULL : min_;
+  const double mean =
+      count_ == 0 ? 0.0
+                  : static_cast<double>(sum_) / static_cast<double>(count_);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
+                "\"buckets\":[",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(sum_), mn,
+                static_cast<unsigned long long>(max_), mean,
+                PercentileLocked(50), PercentileLocked(95),
+                PercentileLocked(99));
+  std::string out(buf);
+  bool first = true;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s{\"le\":%llu,\"count\":%llu}",
+                  first ? "" : ",",
+                  static_cast<unsigned long long>(limits[i]),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace oir

@@ -20,17 +20,27 @@ class Histogram {
   void Clear();
 
   uint64_t Count() const;
+  uint64_t Sum() const;
   uint64_t Min() const;
   uint64_t Max() const;
   double Mean() const;
-  // p in [0, 100].
+  // p in [0, 100]. Empty histogram -> 0; p<=0 -> min; p>=100 -> max;
+  // otherwise linearly interpolated inside the covering bucket and clamped
+  // to [min, max] (so a single-value histogram returns that value exactly).
   double Percentile(double p) const;
 
   std::string ToString() const;
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,
+  //  "p99":..,"buckets":[{"le":<integer bound>,"count":..},...]}
+  // Bucket bounds are emitted as integers — no double round-trip, so a
+  // reader never has to decode a float to recover an exact bound.
+  std::string ToJson() const;
 
  private:
   // Exponential buckets: bucket i covers [kBucketLimits[i-1], kBucketLimits[i]).
   static const std::vector<uint64_t>& BucketLimits();
+
+  double PercentileLocked(double p) const;  // mu_ must be held
 
   mutable std::mutex mu_;
   uint64_t count_;

@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/coding.h"
 #include "util/counters.h"
 #include "util/crc32c.h"
@@ -195,6 +197,9 @@ Status LogManager::PersistMasterLocked() {
 // serialization and the CRC — the expensive parts of an append — happen
 // outside mu_; the critical section is just the buffer append.
 Lsn LogManager::AppendEncoded(LogRecord* rec, const std::string& payload) {
+  static obs::TimerStat* const timer =
+      obs::MetricRegistry::Get().Timer("wal.append_ns");
+  obs::ScopedTimer scope(timer);
   char frame[8];
   EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
   EncodeFixed32(frame + 4,
@@ -298,7 +303,14 @@ void LogManager::FlusherLoop() {
     // One batched flush round covering every record appended so far: all
     // current waiters ride on this single write+fsync.
     const Lsn target = trim_base_ + buf_.size();
-    Status s = PersistLocked();
+    const Lsn prev_durable = durable_lsn_;
+    static obs::TimerStat* const flush_timer =
+        obs::MetricRegistry::Get().Timer("wal.flush_ns");
+    Status s;
+    {
+      obs::ScopedTimer scope(flush_timer);
+      s = PersistLocked();
+    }
     if (fd_ < 0) {
       // In-memory log: no physical sync, but count the round so the
       // flush-calls-per-fsync group-size metric stays meaningful.
@@ -307,6 +319,8 @@ void LogManager::FlusherLoop() {
     }
     if (s.ok()) {
       durable_lsn_ = target;
+      OIR_TRACE(obs::TraceEventType::kGroupCommitFlush, target,
+                target - prev_durable);
       if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
         durable_master_ckpt_ = master_ckpt_;
       }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <thread>
 
 #include "util/clock.h"
@@ -225,6 +227,80 @@ TEST(HistogramTest, MergeAndClear) {
   EXPECT_EQ(a.Count(), 0u);
 }
 
+TEST(HistogramTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileBoundsClampToMinMax) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(1000);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(200), 1000.0);
+  // Every interior percentile stays inside [min, max].
+  for (double p = 1; p < 100; p += 7) {
+    EXPECT_GE(h.Percentile(p), 10.0) << p;
+    EXPECT_LE(h.Percentile(p), 1000.0) << p;
+  }
+}
+
+TEST(HistogramTest, SingleValuePercentilesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Add(42);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 42.0);
+}
+
+TEST(HistogramTest, MergePreservesPercentileInterpolation) {
+  Histogram a, b;
+  for (uint64_t v = 1; v <= 500; ++v) a.Add(v);
+  for (uint64_t v = 501; v <= 1000; ++v) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 1000u);
+  EXPECT_EQ(a.Min(), 1u);
+  EXPECT_EQ(a.Max(), 1000u);
+  // Percentiles are monotone in p and roughly track the uniform ideal.
+  double prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    double v = a.Percentile(p);
+    EXPECT_GE(v, prev) << p;
+    // Bucketized estimate: generous band around the exact value.
+    EXPECT_GT(v, p * 10.0 * 0.5) << p;
+    EXPECT_LT(v, p * 10.0 * 2.0 + 10.0) << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ToJsonIsWellFormedWithIntegerBounds) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v * 3);
+  std::string j = h.ToJson();
+  EXPECT_NE(j.find("\"count\":100"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"buckets\":["), std::string::npos) << j;
+  // Bucket bounds are emitted as integers: no '.' may appear inside any
+  // "le" value.
+  size_t pos = 0;
+  while ((pos = j.find("\"le\":", pos)) != std::string::npos) {
+    pos += 5;
+    size_t end = j.find_first_of(",}", pos);
+    ASSERT_NE(end, std::string::npos);
+    std::string num = j.substr(pos, end - pos);
+    EXPECT_EQ(num.find('.'), std::string::npos) << num;
+    EXPECT_EQ(num.find('e'), std::string::npos) << num;
+  }
+  Histogram empty;
+  EXPECT_NE(empty.ToJson().find("\"count\":0"), std::string::npos);
+}
+
 TEST(HistogramTest, ConcurrentAdds) {
   Histogram h;
   std::vector<std::thread> ts;
@@ -246,6 +322,32 @@ TEST(CountersTest, SnapshotDelta) {
   EXPECT_EQ(delta.log_bytes, 100u);
   EXPECT_EQ(delta.latch_acquires, 3u);
   EXPECT_FALSE(delta.ToString().empty());
+}
+
+TEST(CountersTest, ForEachVisitsEveryFieldOnce) {
+  // The X-macro generates struct fields, snapshot fields and the visitors
+  // from one list; ForEach over the snapshot must see each field exactly
+  // once, with a unique name.
+  auto& c = GlobalCounters::Get();
+  CounterSnapshot before = c.Snapshot();
+  c.pool_hits.fetch_add(11);
+  c.cond_lock_failures.fetch_add(5);
+  CounterSnapshot delta = c.Snapshot() - before;
+
+  std::set<std::string> names;
+  uint64_t pool_hits = 0, cond_fail = 0;
+  delta.ForEach([&](const char* name, uint64_t v) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+    if (std::string(name) == "pool_hits") pool_hits = v;
+    if (std::string(name) == "cond_lock_failures") cond_fail = v;
+  });
+  EXPECT_EQ(pool_hits, 11u);
+  EXPECT_EQ(cond_fail, 5u);
+  EXPECT_TRUE(names.count("lock_watchdog_fires"));
+  // Mutable and snapshot visitors agree on the field set.
+  size_t atomic_fields = 0;
+  c.ForEach([&](const char*, std::atomic<uint64_t>&) { ++atomic_fields; });
+  EXPECT_EQ(names.size(), atomic_fields);
 }
 
 TEST(ClockTest, MonotoneAndCpuAdvances) {
