@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "testing/crash_point.h"
 #include "util/coding.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -286,16 +287,19 @@ void BTree::ReleaseNtaResources(OpCtx op, NtaScope* nta) {
 }
 
 Status BTree::EndNta(OpCtx op, NtaScope* nta, Lsn undo_next_override) {
+  OIR_CRASH_POINT("btree.nta.end.pre");
   LogRecord rec;
   rec.type = LogType::kNtaEnd;
   rec.undo_next = undo_next_override != kInvalidLsn ? undo_next_override
                                                     : nta->saved_lsn;
   log_->Append(&rec, op.ctx);
+  OIR_CRASH_POINT("btree.nta.end.post");
   ReleaseNtaResources(op, nta);
   return Status::OK();
 }
 
 Status BTree::AbortNta(OpCtx op, NtaScope* nta) {
+  OIR_CRASH_POINT("btree.nta.abort");
   if (TraceLinks()) {
     std::fprintf(stderr, "[txn %llu] AbortNta locked=%zu\n",
                  (unsigned long long)op.id, nta->locked.size());

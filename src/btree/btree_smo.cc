@@ -3,6 +3,7 @@
 
 #include "btree/btree.h"
 #include "obs/trace.h"
+#include "testing/crash_point.h"
 #include "util/logging.h"
 
 namespace oir {
@@ -36,6 +37,7 @@ SlotId PickSplitPos(const SlottedPage& sp, SlotId min_pos) {
 // -------------------------------------------------------------- leaf split
 
 Status BTree::LeafSplit(OpCtx op, PageRef leaf, Path* path) {
+  OIR_CRASH_POINT("btree.split.begin");
   NtaScope nta;
   BeginNta(op, &nta);
   const PageId p0 = leaf.id();
@@ -62,6 +64,7 @@ Status BTree::LeafSplit(OpCtx op, PageRef leaf, Path* path) {
     Status rb = AbortNta(op, &nta);
     return s.ok() ? rb : s;
   }
+  OIR_CRASH_POINT("btree.split.alloc");
   OIR_CHECK(locks_
                 ->Lock(op.id, AddressLockKey(n0), LockMode::kX,
                        /*conditional=*/false)
@@ -98,6 +101,7 @@ Status BTree::LeafSplit(OpCtx op, PageRef leaf, Path* path) {
   LogBatchDelete(op, &leaf, split_pos, static_cast<uint16_t>(n - split_pos),
                  kLeafLevel);
   LogSetNextLink(op, &leaf, n0);
+  OIR_CRASH_POINT("btree.split.moved");
 
   // Separator between the two halves (suffix compression).
   SlottedPage rsp(right.data(), bm_->page_size());
@@ -124,6 +128,7 @@ Status BTree::LeafSplit(OpCtx op, PageRef leaf, Path* path) {
       np.latch().UnlockX();
     }
   }
+  OIR_CRASH_POINT("btree.split.linked");
 
   s = PropagateInsert(op, &nta, 1, std::move(sep), n0, p0, path);
   if (!s.ok()) {
@@ -131,6 +136,7 @@ Status BTree::LeafSplit(OpCtx op, PageRef leaf, Path* path) {
     (void)rb;
     return s;
   }
+  OIR_CRASH_POINT("btree.split.propagated");
   OIR_TRACE(obs::TraceEventType::kSmoSplit, p0, n0);
   return EndNta(op, &nta);
 }
@@ -146,6 +152,7 @@ Status BTree::PropagateInsert(OpCtx op, NtaScope* nta, uint16_t level,
   uint16_t cur_level = level;
 
   for (;;) {
+    OIR_CRASH_POINT("btree.propagate.insert");
     // If the page that split was the root, grow the tree instead of
     // traversing to a level that does not exist. No other transaction can
     // change the root meanwhile: doing so would require splitting or
@@ -250,6 +257,7 @@ Status BTree::PropagateInsert(OpCtx op, NtaScope* nta, uint16_t level,
 
 Status BTree::NewRoot(OpCtx op, NtaScope* nta, PageId left, const Slice& sep,
                       PageId right, uint16_t child_level) {
+  OIR_CRASH_POINT("btree.newroot");
   (void)nta;
   PageId rid;
   OIR_RETURN_IF_ERROR(space_->Allocate(op.ctx, &rid));
@@ -283,6 +291,7 @@ Status BTree::ShrinkLeaf(OpCtx op, PageRef leaf, const Slice& composite,
   OIR_CHECK(SlottedPage(leaf.data(), bm_->page_size()).nslots() == 1);
   LogDelete(op, &leaf, 0, kLeafLevel);
 
+  OIR_CRASH_POINT("btree.shrink.begin");
   NtaScope nta;
   BeginNta(op, &nta);
 
@@ -343,6 +352,7 @@ Status BTree::ShrinkLeaf(OpCtx op, PageRef leaf, const Slice& composite,
     LogSetPrevLink(op, &next, pp);
     next.latch().UnlockX();
   }
+  OIR_CRASH_POINT("btree.shrink.unlinked");
 
   s = space_->Deallocate(op.ctx, p);
   if (!s.ok()) {
@@ -351,6 +361,7 @@ Status BTree::ShrinkLeaf(OpCtx op, PageRef leaf, const Slice& composite,
     return s;
   }
   nta.deallocated.push_back(p);
+  OIR_CRASH_POINT("btree.shrink.dealloc");
 
   s = PropagateDelete(op, &nta, 1, composite, p, path);
   if (!s.ok()) {
@@ -358,6 +369,7 @@ Status BTree::ShrinkLeaf(OpCtx op, PageRef leaf, const Slice& composite,
     (void)rb;
     return s;
   }
+  OIR_CRASH_POINT("btree.shrink.propagated");
   OIR_RETURN_IF_ERROR(EndNta(op, &nta));
   OIR_TRACE(obs::TraceEventType::kSmoShrink, p, 0);
 

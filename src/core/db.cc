@@ -5,6 +5,7 @@
 #include "core/index.h"
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "testing/crash_point.h"
 #include "util/counters.h"
 
 namespace oir {
@@ -28,6 +29,10 @@ Status BuildStack(const DbOptions& options, bool truncate_files, Db* db,
   } else {
     *disk = std::make_unique<MemDisk>(options.page_size,
                                       options.initial_disk_pages);
+  }
+  if (options.wrap_disk) {
+    *disk = options.wrap_disk(std::move(*disk));
+    OIR_CHECK(*disk != nullptr);
   }
   if (!options.log_path.empty()) {
     OIR_RETURN_IF_ERROR(
@@ -135,10 +140,13 @@ Status Db::Checkpoint(Lsn* truncation_horizon) {
   Lsn oldest_begin = kInvalidLsn;
   txn_mgr_->SnapshotActive(&ckpt.ckpt_txns, &oldest_begin);
   Lsn ckpt_lsn = log_->AppendSystem(&ckpt);
+  OIR_CRASH_POINT("ckpt.logged");
 
   OIR_RETURN_IF_ERROR(bm_->FlushAll());
+  OIR_CRASH_POINT("ckpt.pages_flushed");
   OIR_RETURN_IF_ERROR(log_->FlushAll());
   log_->SetMasterCheckpoint(ckpt_lsn);
+  OIR_CRASH_POINT("ckpt.master");
   OIR_TRACE(obs::TraceEventType::kCheckpoint, ckpt_lsn, 0);
 
   if (truncation_horizon != nullptr) {

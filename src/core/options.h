@@ -5,12 +5,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "obs/progress.h"
 #include "storage/page.h"
 
 namespace oir {
+
+class Disk;
 
 struct DbOptions {
   // Page size in bytes. The paper's experiments use 2 KB (Section 6.4).
@@ -41,6 +44,11 @@ struct DbOptions {
 
   // Initial device size in pages.
   uint32_t initial_disk_pages = 64;
+
+  // Test hook: wraps the freshly created disk before any component sees it.
+  // Fault-injection tests install a FaultInjectingDisk decorator here; the
+  // returned disk is what the buffer pool and space manager talk to.
+  std::function<std::unique_ptr<Disk>(std::unique_ptr<Disk>)> wrap_disk;
 };
 
 // Options of the online index rebuild (Section 3).

@@ -6,6 +6,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/crash_point.h"
 #include "util/clock.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -163,6 +164,7 @@ Status OnlineRebuilder::Impl::Run() {
   bool done = false;
   BTree::Path path;
   while (!done) {
+    OIR_CRASH_POINT("rebuild.txn.begin");
     std::unique_ptr<Transaction> txn = tm->Begin();
     OpCtx op{txn->id(), txn->ctx()};
     flush_pages_txn.clear();
@@ -207,9 +209,12 @@ Status OnlineRebuilder::Impl::Run() {
     static obs::TimerStat* const flush_timer =
         obs::MetricRegistry::Get().Timer("rebuild.flush_ns");
     const uint64_t flush0 = NowNanos();
+    OIR_CRASH_POINT("rebuild.txn.flush");
     OIR_RETURN_IF_ERROR(bm->FlushPages(flush_pages_txn, opts.io_pages));
+    OIR_CRASH_POINT("rebuild.txn.commit");
     OIR_RETURN_IF_ERROR(tm->Commit(txn.get()));
     OIR_RETURN_IF_ERROR(FreeOldPagesViaLogScan(txn.get()));
+    OIR_CRASH_POINT("rebuild.txn.freed");
     const uint64_t flush_ns = NowNanos() - flush0;
     progress->flush_us.fetch_add(flush_ns / 1000, std::memory_order_relaxed);
     if (obs::MetricRegistry::timers_enabled()) flush_timer->Record(flush_ns);
@@ -456,6 +461,7 @@ Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
   std::string skey =
       has_resume ? resume_key + std::string(1, '\0') : std::string();
 
+  OIR_CRASH_POINT("rebuild.topaction.begin");
   BTree::NtaScope nta;
   tree->BeginNta(op, &nta);
 
@@ -468,6 +474,7 @@ Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
     end_copy(0);
     return s;
   }
+  OIR_CRASH_POINT("rebuild.lockbatch.locked");
 
   const bool batch_is_root_leaf = batch.size() == 1 && batch[0] == tree->root();
 
@@ -527,6 +534,7 @@ Status OnlineRebuilder::Impl::TopAction(OpCtx op, BTree::Path* path,
     (void)rb;
     return s;
   }
+  OIR_CRASH_POINT("rebuild.topaction.end");
   OIR_RETURN_IF_ERROR(tree->EndNta(op, &nta));
   old_pages_txn.insert(old_pages_txn.end(), batch.begin(), batch.end());
   ++result->top_actions;
@@ -589,6 +597,7 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
     ref.latch().UnlockS();
     sources.push_back(std::move(src));
   }
+  OIR_CRASH_POINT("rebuild.copy.sources_read");
 
   // PP's available budget under the fill target, and its last key (for
   // separator compression).
@@ -666,6 +675,7 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
   if (k > 0) {
     OIR_RETURN_IF_ERROR(space->AllocateChunk(op.ctx, k, &new_ids));
   }
+  OIR_CRASH_POINT("rebuild.copy.alloc");
   for (uint32_t j = 0; j < k; ++j) {
     OIR_CHECK(locks
                   ->Lock(op.id, AddressLockKey(new_ids[j]), LockMode::kX,
@@ -727,6 +737,7 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
     }
     if (!rec.copies.empty()) {
       Lsn lsn = log->Append(&rec, op.ctx);
+      OIR_CRASH_POINT("rebuild.copy.keycopy_logged");
       // Apply to each target under its X latch.
       for (size_t si = 0; si < sources.size(); ++si) {
         size_t ri = 0;
@@ -769,6 +780,7 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
     }
   }
 
+  OIR_CRASH_POINT("rebuild.copy.applied");
   // The copying is done: flip the batch pages' SPLIT bits to SHRINK bits
   // (under an X latch, Section 6.2) so readers drain before the pages are
   // unlinked and deallocated.
@@ -783,6 +795,7 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
       ref.latch().UnlockX();
     }
   }
+  OIR_CRASH_POINT("rebuild.copy.bits_flipped");
 
   // Fix the chain around the batch: PP.next and NP.prev skip the old pages
   // ("changeprevlink", Section 4.1.2).
@@ -802,9 +815,11 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
     tree->LogSetPrevLink(op, &ref, before_np);
     ref.latch().UnlockX();
   }
+  OIR_CRASH_POINT("rebuild.copy.prevlink");
 
   // Deallocate the old pages (freed at transaction commit; Section 4.1.3).
   OIR_RETURN_IF_ERROR(space->DeallocateBatch(op.ctx, batch));
+  OIR_CRASH_POINT("rebuild.copy.dealloc");
 
   // Build the leaf propagation entries (Section 5.2).
   for (size_t si = 0; si < sources.size(); ++si) {
@@ -945,6 +960,7 @@ Status OnlineRebuilder::Impl::ApplyGroup(OpCtx op, BTree::NtaScope* nta,
                                          const PropEntry* entries,
                                          size_t count, OpenLeft* open_left,
                                          std::vector<PropEntry>* next_level) {
+  OIR_CRASH_POINT("rebuild.propagate.group");
   const PageId pid = parent->id();
   const bool already_ours =
       locks->IsHeld(op.id, AddressLockKey(pid), LockMode::kX);

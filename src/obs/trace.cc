@@ -39,6 +39,7 @@ const char* TraceEventName(TraceEventType t) {
     case TraceEventType::kCopyPhaseEnd: return "copy_phase_end";
     case TraceEventType::kPropagatePhaseBegin: return "propagate_phase_begin";
     case TraceEventType::kPropagatePhaseEnd: return "propagate_phase_end";
+    case TraceEventType::kFaultInjected: return "fault_injected";
   }
   return "unknown";
 }

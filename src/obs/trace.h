@@ -37,6 +37,7 @@ enum class TraceEventType : uint8_t {
   kCopyPhaseEnd,        // arg0 = top-action ordinal, arg1 = keys copied
   kPropagatePhaseBegin, // arg0 = top-action ordinal, arg1 = 0
   kPropagatePhaseEnd,   // arg0 = top-action ordinal, arg1 = 0
+  kFaultInjected,       // arg0 = first page affected, arg1 = FaultKind
 };
 
 const char* TraceEventName(TraceEventType t);

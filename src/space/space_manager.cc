@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "testing/crash_point.h"
 #include "util/logging.h"
 
 namespace oir {
@@ -72,6 +73,7 @@ Status SpaceManager::AllocateChunk(TxnContext* ctx, uint32_t n,
       states_[first + i - first_data_page_] = PageState::kAllocated;
     }
   }
+  OIR_CRASH_POINT("space.alloc.state");
   out->clear();
   out->reserve(n);
   LogRecord rec;
@@ -81,6 +83,7 @@ Status SpaceManager::AllocateChunk(TxnContext* ctx, uint32_t n,
     out->push_back(first + i);
   }
   log_->Append(&rec, ctx);
+  OIR_CRASH_POINT("space.alloc.logged");
   return Status::OK();
 }
 
@@ -93,10 +96,12 @@ Status SpaceManager::Deallocate(TxnContext* ctx, PageId page) {
     OIR_CHECK(s == PageState::kAllocated);
     s = PageState::kDeallocated;
   }
+  OIR_CRASH_POINT("space.dealloc.state");
   LogRecord rec;
   rec.type = LogType::kDealloc;
   rec.pages.push_back(page);
   log_->Append(&rec, ctx);
+  OIR_CRASH_POINT("space.dealloc.logged");
   return Status::OK();
 }
 
@@ -112,6 +117,7 @@ Status SpaceManager::DeallocateBatch(TxnContext* ctx,
       s = PageState::kDeallocated;
     }
   }
+  OIR_CRASH_POINT("space.dealloc.state");
   // One record per 256-page allocation unit (ASE-style allocation pages).
   constexpr PageId kUnit = 256;
   std::map<PageId, std::vector<PageId>> by_unit;
@@ -123,10 +129,12 @@ Status SpaceManager::DeallocateBatch(TxnContext* ctx,
     rec.pages = list;
     log_->Append(&rec, ctx);
   }
+  OIR_CRASH_POINT("space.dealloc.logged");
   return Status::OK();
 }
 
 void SpaceManager::Free(PageId page) {
+  OIR_CRASH_POINT("space.free");
   std::lock_guard<std::mutex> l(mu_);
   OIR_CHECK(page >= first_data_page_ &&
             page - first_data_page_ < states_.size());

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "testing/crash_point.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
@@ -127,6 +128,7 @@ Status BufferManager::AllocateFrameLocked(Shard& sh,
       return Status::NoSpace("buffer pool exhausted: all frames pinned");
     }
     c.pool_evictions.fetch_add(1, std::memory_order_relaxed);
+    OIR_CRASH_POINT("pool.evict");
     Frame& vf = frames_[victim];
     const PageId old_id = vf.page_id;
     // Claim the dirty bit before copying so a marker racing with the
@@ -166,6 +168,7 @@ Status BufferManager::AllocateFrameLocked(Shard& sh,
 }
 
 Status BufferManager::WriteBack(size_t frame) {
+  OIR_CRASH_POINT("pool.writeback.pre");
   Frame& f = frames_[frame];
   // Copy a consistent image under the S latch.
   std::unique_ptr<char[]> img(new char[page_size_]);
@@ -176,9 +179,12 @@ Status BufferManager::WriteBack(size_t frame) {
   if (log_flusher_ != nullptr && page_lsn != kInvalidLsn) {
     OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(page_lsn));
   }
+  OIR_CRASH_POINT("pool.writeback.wal_flushed");
   GlobalCounters::Get().pool_writebacks.fetch_add(1,
                                                   std::memory_order_relaxed);
-  return disk_->WritePage(f.page_id, img.get());
+  OIR_RETURN_IF_ERROR(disk_->WritePage(f.page_id, img.get()));
+  OIR_CRASH_POINT("pool.writeback.post");
+  return Status::OK();
 }
 
 Status BufferManager::Fetch(PageId id, PageRef* out) {
@@ -374,9 +380,11 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
       ++i;
     }
     if (run_len == 0) continue;
+    OIR_CRASH_POINT("pool.flushpages.run");
     if (log_flusher_ != nullptr && max_lsn != kInvalidLsn) {
       OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(max_lsn));
     }
+    OIR_CRASH_POINT("pool.flushpages.wal_flushed");
     GlobalCounters::Get().pool_writebacks.fetch_add(
         run_len, std::memory_order_relaxed);
     OIR_RETURN_IF_ERROR(disk_->WriteMulti(run_start, run_len, run_buf.get()));

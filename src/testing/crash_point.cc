@@ -1,0 +1,81 @@
+#include "testing/crash_point.h"
+
+#include <cstdlib>
+
+namespace oir::fault {
+
+std::atomic<bool> CrashPointRegistry::enabled_{false};
+
+CrashPointRegistry& CrashPointRegistry::Get() {
+  static CrashPointRegistry* instance = new CrashPointRegistry();
+  return *instance;
+}
+
+void CrashPointRegistry::Hit(const char* name) {
+  std::function<void()> fire;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    uint64_t& count = counts_[name];
+    const uint64_t ordinal = count++;
+    if (armed_ && !fired_ && ordinal == armed_hit_ && armed_name_ == name) {
+      fired_ = true;
+      fire = handler_;
+    }
+  }
+  // The handler runs outside mu_ so a handler that re-enters the registry
+  // (e.g. to snapshot counts) cannot self-deadlock. It still runs on the
+  // hitting thread, which may hold component mutexes — handlers only flip
+  // lock-free flags (see the header).
+  if (fire) fire();
+}
+
+void CrashPointRegistry::Arm(const std::string& name, uint64_t hit_index,
+                             std::function<void()> handler) {
+  std::lock_guard<std::mutex> l(mu_);
+  armed_ = true;
+  fired_ = false;
+  armed_name_ = name;
+  armed_hit_ = hit_index;
+  handler_ = std::move(handler);
+}
+
+void CrashPointRegistry::Disarm() {
+  std::lock_guard<std::mutex> l(mu_);
+  armed_ = false;
+  fired_ = false;
+  armed_name_.clear();
+  handler_ = nullptr;
+}
+
+bool CrashPointRegistry::triggered() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return fired_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> CrashPointRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> l(mu_);
+  return {counts_.begin(), counts_.end()};
+}
+
+void CrashPointRegistry::ResetCounts() {
+  std::lock_guard<std::mutex> l(mu_);
+  counts_.clear();
+}
+
+bool CrashPointRegistry::ParseSpec(const std::string& spec, std::string* name,
+                                   uint64_t* hit) {
+  const size_t sep = spec.find('#');
+  if (sep == std::string::npos) {
+    *name = spec;
+    *hit = 0;
+    return !spec.empty();
+  }
+  *name = spec.substr(0, sep);
+  if (name->empty() || sep + 1 >= spec.size()) return false;
+  char* end = nullptr;
+  *hit = std::strtoull(spec.c_str() + sep + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace oir::fault

@@ -1,0 +1,103 @@
+#include "testing/fault_disk.h"
+
+#include <cstring>
+#include <memory>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace oir::fault {
+
+FaultInjectingDisk::FaultInjectingDisk(std::unique_ptr<Disk> base)
+    : Disk(base->page_size()), base_(std::move(base)) {}
+
+void FaultInjectingDisk::Restore() {
+  power_cut_.store(false, std::memory_order_relaxed);
+  fail_writes_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> l(tear_mu_);
+  tear_armed_ = false;
+}
+
+void FaultInjectingDisk::TearNextWrite(PageId page, uint32_t sectors) {
+  OIR_CHECK(sectors < page_size() / kSectorSize);
+  std::lock_guard<std::mutex> l(tear_mu_);
+  tear_armed_ = true;
+  tear_page_ = page;
+  tear_sectors_ = sectors;
+}
+
+void FaultInjectingDisk::RecordFault(FaultKind kind, PageId page) {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  OIR_TRACE(obs::TraceEventType::kFaultInjected, page,
+            static_cast<uint64_t>(kind));
+}
+
+Status FaultInjectingDisk::ReadMulti(PageId first, uint32_t n, char* buf) {
+  // Reads always succeed: a restarted machine can read whatever made it to
+  // the platter before the power went out.
+  return base_->ReadMulti(first, n, buf);
+}
+
+Status FaultInjectingDisk::WriteMulti(PageId first, uint32_t n,
+                                      const char* buf) {
+  if (power_cut_.load(std::memory_order_relaxed)) {
+    RecordFault(FaultKind::kPowerCut, first);
+    return Status::IOError("fault injection: power cut");
+  }
+  uint32_t pending = fail_writes_.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (fail_writes_.compare_exchange_weak(pending, pending - 1,
+                                           std::memory_order_relaxed)) {
+      RecordFault(FaultKind::kTransientError, first);
+      return Status::IOError("fault injection: transient write error");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> l(tear_mu_);
+    if (tear_armed_ && tear_page_ >= first && tear_page_ < first + n) {
+      tear_armed_ = false;
+      const uint32_t torn_idx = tear_page_ - first;
+      const uint32_t torn_bytes = tear_sectors_ * kSectorSize;
+      // Pages before the torn one land in full.
+      if (torn_idx > 0) {
+        Status s = base_->WriteMulti(first, torn_idx, buf);
+        if (!s.ok()) return s;
+      }
+      // The torn page gets only its leading sectors; the tail keeps the old
+      // image (read-modify-write of the stored page).
+      if (torn_bytes > 0) {
+        std::unique_ptr<char[]> old(new char[page_size()]);
+        Status s = base_->ReadPage(tear_page_, old.get());
+        if (!s.ok()) return s;
+        std::memcpy(old.get(),
+                    buf + static_cast<size_t>(torn_idx) * page_size(),
+                    torn_bytes);
+        s = base_->WritePage(tear_page_, old.get());
+        if (!s.ok()) return s;
+      }
+      // Nothing after the torn sector reaches the device; the power is out.
+      power_cut_.store(true, std::memory_order_relaxed);
+      RecordFault(FaultKind::kTornWrite, tear_page_);
+      return Status::IOError("fault injection: torn write (power lost)");
+    }
+  }
+  return base_->WriteMulti(first, n, buf);
+}
+
+Status FaultInjectingDisk::Sync() {
+  if (power_cut_.load(std::memory_order_relaxed)) {
+    RecordFault(FaultKind::kPowerCut, kInvalidPageId);
+    return Status::IOError("fault injection: power cut");
+  }
+  return base_->Sync();
+}
+
+uint32_t FaultInjectingDisk::NumPages() const { return base_->NumPages(); }
+
+Status FaultInjectingDisk::Extend(uint32_t new_num_pages) {
+  // Growing the logical device is a metadata operation in this model; it
+  // only matters once a write lands, so it is not failed on power cut.
+  return base_->Extend(new_num_pages);
+}
+
+}  // namespace oir::fault

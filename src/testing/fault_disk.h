@@ -1,0 +1,97 @@
+#ifndef OIR_TESTING_FAULT_DISK_H_
+#define OIR_TESTING_FAULT_DISK_H_
+
+// Fault-injecting Disk decorator. Wraps any Disk (DbOptions::wrap_disk
+// installs it under a Db) and injects the three failure modes the recovery
+// design must survive:
+//
+//  * power cut     — every write after CutPower() fails with IOError and
+//                    leaves the media untouched; reads keep working, the
+//                    way a restarted machine reads what was durable. This
+//                    exercises the WAL constraint for real: a page image
+//                    that never reached the device must be reconstructible
+//                    from the durable log prefix.
+//  * torn write    — the next write covering a chosen page persists only
+//                    its first N 512-byte sectors, then the power is lost.
+//  * transient I/O — the next K writes fail and then the device heals,
+//                    for bounded-retry paths (buffer-pool FlushPage
+//                    restores the dirty bit on failure; the WAL group
+//                    commit re-raises a failed round on the next FlushTo).
+//
+// Every injected fault emits a kFaultInjected trace event. All control
+// methods only touch atomics (CutPower in particular is called from crash-
+// point handlers that may run under component mutexes).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "storage/disk.h"
+
+namespace oir::fault {
+
+enum class FaultKind : uint64_t {
+  kPowerCut = 1,
+  kTornWrite = 2,
+  kTransientError = 3,
+};
+
+class FaultInjectingDisk : public Disk {
+ public:
+  static constexpr uint32_t kSectorSize = 512;
+
+  explicit FaultInjectingDisk(std::unique_ptr<Disk> base);
+
+  // --- fault controls (safe from any thread, lock-free) ---
+
+  // Drops power: every subsequent write or sync fails. Reads still work.
+  void CutPower() { power_cut_.store(true, std::memory_order_relaxed); }
+  // Heals the device (power restored): writes work again and any pending
+  // torn-write / transient-error injection is cancelled.
+  void Restore();
+  bool power_cut() const {
+    return power_cut_.load(std::memory_order_relaxed);
+  }
+
+  // The next write covering `page` persists only the first `sectors`
+  // sectors of that page's new image (the rest keeps the old bytes) and
+  // also cuts the power: earlier pages of the same multi-page transfer are
+  // written in full, later ones not at all — a torn multi-sector write.
+  void TearNextWrite(PageId page, uint32_t sectors);
+
+  // The next `n` writes fail with IOError; the device then heals itself.
+  void FailNextWrites(uint32_t n) {
+    fail_writes_.store(n, std::memory_order_relaxed);
+  }
+
+  uint64_t injected_faults() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  Disk* base() { return base_.get(); }
+
+  // --- Disk interface ---
+  Status ReadMulti(PageId first, uint32_t n, char* buf) override;
+  Status WriteMulti(PageId first, uint32_t n, const char* buf) override;
+  Status Sync() override;
+  uint32_t NumPages() const override;
+  Status Extend(uint32_t new_num_pages) override;
+
+ private:
+  void RecordFault(FaultKind kind, PageId page);
+
+  std::unique_ptr<Disk> base_;
+  std::atomic<bool> power_cut_{false};
+  std::atomic<uint32_t> fail_writes_{0};
+  std::atomic<uint64_t> injected_{0};
+
+  std::mutex tear_mu_;
+  bool tear_armed_ = false;  // guarded by tear_mu_
+  PageId tear_page_ = kInvalidPageId;
+  uint32_t tear_sectors_ = 0;
+};
+
+}  // namespace oir::fault
+
+#endif  // OIR_TESTING_FAULT_DISK_H_

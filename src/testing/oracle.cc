@@ -1,0 +1,67 @@
+#include "testing/oracle.h"
+
+#include <sstream>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace oir::fault {
+
+Status CheckInvariants(BTree* tree, SpaceManager* space, BufferManager* bm,
+                       TreeStats* stats) {
+  TreeStats local;
+  TreeStats* st = stats != nullptr ? stats : &local;
+  Status s = tree->Validate(st);
+  if (!s.ok()) return s;
+
+  // No page may linger in deallocated limbo: commit, rollback, or restart
+  // recovery must each have resolved it to free or allocated.
+  const uint64_t limbo = space->CountInState(PageState::kDeallocated);
+  if (limbo != 0) {
+    std::ostringstream os;
+    os << "oracle: " << limbo << " page(s) left in deallocated state";
+    return Status::Corruption(os.str());
+  }
+
+  // Every allocated page must be a live tree page with no leftover
+  // top-action bits.
+  const std::vector<PageId> allocated =
+      space->PagesInState(PageState::kAllocated);
+  constexpr uint16_t kSmoBits = kFlagSplit | kFlagShrink | kFlagOldPgOfSplit;
+  for (PageId id : allocated) {
+    PageRef ref;
+    s = bm->Fetch(id, &ref);
+    if (!s.ok()) return s;
+    ref.latch().LockS();
+    const uint16_t flags = ref.header()->flags;
+    const uint16_t level = ref.header()->level;
+    ref.latch().UnlockS();
+    if ((flags & kSmoBits) != 0) {
+      std::ostringstream os;
+      os << "oracle: page " << id << " has leftover SMO bits (flags=" << flags
+         << ")";
+      return Status::Corruption(os.str());
+    }
+    if (level == kInvalidLevel) {
+      std::ostringstream os;
+      os << "oracle: allocated page " << id << " is not a formatted tree page";
+      return Status::Corruption(os.str());
+    }
+  }
+
+  // The space map and the tree must agree on the set of live pages:
+  // Validate counted reachable pages, the space manager counts allocated
+  // ones. A mismatch means an orphaned allocation (leak) or a reachable
+  // page the space map thinks is free (double-allocation waiting to
+  // happen).
+  const uint64_t tree_pages = st->num_leaf_pages + st->num_nonleaf_pages;
+  if (tree_pages != allocated.size()) {
+    std::ostringstream os;
+    os << "oracle: tree reaches " << tree_pages << " page(s) but space map has "
+       << allocated.size() << " allocated";
+    return Status::Corruption(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace oir::fault

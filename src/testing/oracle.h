@@ -1,0 +1,36 @@
+#ifndef OIR_TESTING_ORACLE_H_
+#define OIR_TESTING_ORACLE_H_
+
+// Recovery oracle: structural invariants that must hold in any quiescent
+// state — in particular immediately after restart recovery, no matter which
+// crash point the previous incarnation died at.
+//
+// On top of BTree::Validate (key order within and across leaves, separator
+// bounds, prev/next leaf-chain integrity, reachability) it checks the
+// page-lifecycle and top-action invariants of the paper:
+//
+//  * no page carries a leftover SPLIT / SHRINK / OLDPGOFSPLIT bit — every
+//    top action either completed (bits cleared) or was undone;
+//  * no page sits in deallocated limbo — deallocated pages are freed at
+//    top-action/transaction commit, by rollback, or by restart recovery
+//    (Section 4.1.3 / three-state lifecycle);
+//  * the space map and the tree agree: every allocated data page is
+//    reachable from the root, and vice versa.
+//
+// Callers must be quiescent (no concurrent writers), same as Validate.
+
+#include "btree/btree.h"
+#include "space/space_manager.h"
+#include "storage/buffer_manager.h"
+#include "util/status.h"
+
+namespace oir::fault {
+
+// Verifies the invariants above. `stats` (optional) receives the tree
+// stats collected by the embedded Validate pass.
+Status CheckInvariants(BTree* tree, SpaceManager* space, BufferManager* bm,
+                       TreeStats* stats = nullptr);
+
+}  // namespace oir::fault
+
+#endif  // OIR_TESTING_ORACLE_H_

@@ -1,0 +1,348 @@
+#include "testing/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/db.h"
+#include "core/index.h"
+#include "testing/crash_point.h"
+#include "testing/fault_disk.h"
+#include "testing/oracle.h"
+#include "util/random.h"
+
+namespace oir::fault {
+namespace {
+
+// Fixed-width decimal key, sortable; rid == the numeric id.
+std::string SweepKey(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(n));
+  return std::string(buf);
+}
+
+// One workload execution: the database, the fault disk wrapped around its
+// media, the committed-operations model, and the transactions abandoned at
+// the crash. Zombies stay alive until after CrashAndRecover — the
+// transaction manager's active table holds raw pointers to them until
+// ResetAfterCrash.
+struct WorkloadRun {
+  std::unique_ptr<Db> db;
+  FaultInjectingDisk* fdisk = nullptr;
+  std::set<uint64_t> committed;  // exact committed key set (rid == id)
+  std::vector<std::unique_ptr<Transaction>> zombies;
+};
+
+Status OpenDb(const SweepWorkloadOptions& opts, WorkloadRun* run) {
+  DbOptions dopts;
+  dopts.page_size = 2048;
+  // Generous pool: the whole working set stays cached, so no eviction
+  // write-back races the power cut (evictions post-cut would surface as
+  // spurious errors on reader paths instead of the writer/rebuild paths
+  // the sweep is probing).
+  dopts.buffer_pool_pages = 4096;
+  dopts.initial_disk_pages = 64;
+  dopts.wrap_disk = [run](std::unique_ptr<Disk> base) {
+    auto wrapped = std::make_unique<FaultInjectingDisk>(std::move(base));
+    run->fdisk = wrapped.get();
+    return wrapped;
+  };
+  OIR_RETURN_IF_ERROR(Db::Open(dopts, &run->db));
+  run->db->log_manager()->SetGroupCommit(opts.group_commit);
+  // Post-cut a thread can strand logical locks (its transaction is
+  // abandoned, never rolled back until recovery); a short wait timeout
+  // turns any thread blocked behind one into a prompt Aborted instead of
+  // the 10 s default.
+  run->db->lock_manager()->set_wait_timeout(std::chrono::milliseconds(500));
+  return Status::OK();
+}
+
+// Runs preload + (writer ∥ rebuild ∥ reader) to completion or crash. Never
+// fails hard: operation errors either abort the transaction (no fault
+// fired yet — e.g. a logical-lock timeout victim) or abandon it as a
+// zombie (the crash has happened; rollback must be recovery's job).
+void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
+  Db* db = run->db.get();
+  Index* index = db->index();
+  auto& reg = CrashPointRegistry::Get();
+
+  // --- preload (one transaction; in the model only if commit succeeds,
+  // since an armed early crash point can fire right here) ---
+  {
+    auto txn = db->BeginTxn();
+    bool failed = false;
+    for (uint64_t i = 0; i < opts.preload_keys; ++i) {
+      if (!index->Insert(txn.get(), SweepKey(i), i).ok()) {
+        failed = true;
+        break;
+      }
+    }
+    if (!failed && db->Commit(txn.get()).ok()) {
+      for (uint64_t i = 0; i < opts.preload_keys; ++i) {
+        run->committed.insert(i);
+      }
+    } else {
+      run->zombies.push_back(std::move(txn));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<Transaction>> writer_zombies, reader_zombies;
+
+  std::thread writer([&]() {
+    Random rng(opts.seed);
+    uint64_t next_key = opts.preload_keys;
+    for (uint32_t op = 0; op < opts.writer_ops; ++op) {
+      if (reg.triggered()) break;
+      if (opts.checkpoint_midway && op == opts.writer_ops / 2) {
+        db->Checkpoint();  // errors fine: fault may already have fired
+      }
+
+      auto txn = db->BeginTxn();
+      // Staged effects, applied to the model only on successful commit.
+      std::vector<uint64_t> ins, del;
+      std::set<uint64_t> del_set;
+      Status st;
+
+      if (!run->committed.empty() && rng.OneIn(25)) {
+        // Contiguous range delete (~30 keys): empties adjacent leaves to
+        // provoke shrink top actions alongside the rebuild.
+        auto it = run->committed.lower_bound(rng.Uniform(next_key));
+        if (it == run->committed.end()) it = run->committed.begin();
+        for (int i = 0; i < 30 && it != run->committed.end(); ++i, ++it) {
+          del.push_back(*it);
+        }
+        for (uint64_t id : del) {
+          st = index->Delete(txn.get(), SweepKey(id), id);
+          if (!st.ok()) break;
+        }
+      } else {
+        // Small mixed transaction: 1–4 inserts/deletes.
+        uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(4));
+        for (uint32_t i = 0; i < n && st.ok(); ++i) {
+          bool do_delete = !run->committed.empty() && rng.OneIn(3);
+          if (do_delete) {
+            auto it = run->committed.lower_bound(rng.Uniform(next_key));
+            while (it != run->committed.end() && del_set.count(*it)) ++it;
+            if (it == run->committed.end()) do_delete = false;
+            if (do_delete) {
+              del_set.insert(*it);
+              del.push_back(*it);
+              st = index->Delete(txn.get(), SweepKey(*it), *it);
+              continue;
+            }
+          }
+          uint64_t id = next_key++;
+          ins.push_back(id);
+          st = index->Insert(txn.get(), SweepKey(id), id);
+        }
+      }
+
+      if (!st.ok()) {
+        if (reg.triggered()) {
+          writer_zombies.push_back(std::move(txn));
+          break;
+        }
+        // Lock-timeout victim (or similar): roll back and move on.
+        if (!db->Abort(txn.get()).ok()) {
+          writer_zombies.push_back(std::move(txn));
+        }
+        continue;
+      }
+
+      if (rng.OneIn(8)) {
+        // Deliberate abort: exercises rollback racing the rebuild.
+        if (!db->Abort(txn.get()).ok()) {
+          writer_zombies.push_back(std::move(txn));
+        }
+        continue;
+      }
+
+      if (db->Commit(txn.get()).ok()) {
+        for (uint64_t id : ins) run->committed.insert(id);
+        for (uint64_t id : del) run->committed.erase(id);
+      } else {
+        // A failed commit is ambiguous (record appended, flush failed):
+        // only recovery may decide it. Abandon.
+        writer_zombies.push_back(std::move(txn));
+        if (reg.triggered()) break;
+      }
+    }
+  });
+
+  std::thread rebuilder([&]() {
+    RebuildOptions r;
+    r.ntasize = opts.rebuild_ntasize;
+    r.xactsize = opts.rebuild_xactsize;
+    r.io_pages = 2;
+    RebuildResult res;
+    // Error status expected whenever the fault fires mid-rebuild; the
+    // rebuild transaction becomes a loser for recovery to clean up.
+    Status ignored = index->RebuildOnline(r, &res);
+    (void)ignored;
+  });
+
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto txn = db->BeginTxn();
+      auto cur = index->NewCursor(txn.get());
+      Status s = cur->SeekToFirst();
+      while (s.ok() && cur->Valid()) s = cur->Next();
+      cur.reset();
+      if (!db->Commit(txn.get()).ok()) {
+        reader_zombies.push_back(std::move(txn));
+      }
+    }
+  });
+
+  writer.join();
+  rebuilder.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  for (auto& z : writer_zombies) run->zombies.push_back(std::move(z));
+  for (auto& z : reader_zombies) run->zombies.push_back(std::move(z));
+}
+
+std::string ReproLine(const SweepWorkloadOptions& opts,
+                      const std::string& point, uint64_t hit) {
+  std::ostringstream os;
+  os << "repro: OIR_TEST_SEED=" << opts.seed << " OIR_CRASH_POINT=" << point
+     << "#" << hit << " ./crash_sweep_test";
+  return os.str();
+}
+
+Status Fail(const SweepWorkloadOptions& opts, const std::string& point,
+            uint64_t hit, const std::string& why) {
+  std::ostringstream os;
+  os << "crash sweep failed at " << point << "#" << hit << " (seed "
+     << opts.seed << "): " << why << "; " << ReproLine(opts, point, hit);
+  return Status::Corruption(os.str());
+}
+
+}  // namespace
+
+Status EnumerateCrashPoints(
+    const SweepWorkloadOptions& opts,
+    std::vector<std::pair<std::string, uint64_t>>* points) {
+  WorkloadRun run;
+  OIR_RETURN_IF_ERROR(OpenDb(opts, &run));
+  auto& reg = CrashPointRegistry::Get();
+  reg.Disarm();
+  reg.ResetCounts();
+  CrashPointRegistry::SetEnabled(true);
+  RunThreads(opts, &run);
+  CrashPointRegistry::SetEnabled(false);
+  *points = reg.Snapshot();
+  return Status::OK();
+}
+
+Status RunCrashIteration(const SweepWorkloadOptions& opts,
+                         const std::string& point, uint64_t hit,
+                         CrashIterationResult* result) {
+  *result = CrashIterationResult();
+  WorkloadRun run;
+  OIR_RETURN_IF_ERROR(OpenDb(opts, &run));
+
+  LogManager* log = run.db->log_manager();
+  FaultInjectingDisk* fdisk = run.fdisk;
+  auto& reg = CrashPointRegistry::Get();
+  reg.ResetCounts();
+  // Power-cut handler: may run under component mutexes, so it only flips
+  // lock-free flags. From this instant every log flush and disk write
+  // fails; in-memory state keeps mutating but none of it becomes durable.
+  reg.Arm(point, hit, [log, fdisk]() {
+    log->SetFailFlushes(true);
+    fdisk->CutPower();
+  });
+  CrashPointRegistry::SetEnabled(true);
+  RunThreads(opts, &run);
+  CrashPointRegistry::SetEnabled(false);
+  result->triggered = reg.triggered();
+  reg.Disarm();
+
+  // Power back on; reboot.
+  fdisk->Restore();
+  log->SetFailFlushes(false);
+  Status s = run.db->CrashAndRecover(&result->recovery);
+  run.zombies.clear();  // active-txn table was reset; safe to free
+  if (!s.ok()) {
+    return Fail(opts, point, hit, "recovery: " + s.ToString());
+  }
+
+  Db* db = run.db.get();
+  result->committed_keys = run.committed.size();
+
+  // Oracle 1: structural invariants.
+  s = CheckInvariants(db->tree(), db->space_manager(), db->buffer_manager());
+  if (!s.ok()) {
+    return Fail(opts, point, hit, "invariants: " + s.ToString());
+  }
+
+  // Oracle 2: the recovered tree holds exactly the committed operations.
+  {
+    auto txn = db->BeginTxn();
+    auto cur = db->index()->NewCursor(txn.get());
+    s = cur->SeekToFirst();
+    auto expect = run.committed.begin();
+    uint64_t row = 0;
+    while (s.ok() && cur->Valid()) {
+      if (expect == run.committed.end()) {
+        return Fail(opts, point, hit,
+                    "scan row " + std::to_string(row) + " key '" +
+                        cur->user_key().ToString() +
+                        "' beyond the committed model (" +
+                        std::to_string(run.committed.size()) + " keys)");
+      }
+      if (cur->user_key().ToString() != SweepKey(*expect) ||
+          cur->rid() != *expect) {
+        return Fail(opts, point, hit,
+                    "scan row " + std::to_string(row) + ": got key '" +
+                        cur->user_key().ToString() + "' rid " +
+                        std::to_string(cur->rid()) + ", model expects '" +
+                        SweepKey(*expect) + "'");
+      }
+      ++expect;
+      ++row;
+      s = cur->Next();
+    }
+    if (!s.ok()) {
+      return Fail(opts, point, hit, "post-recovery scan: " + s.ToString());
+    }
+    if (expect != run.committed.end()) {
+      return Fail(opts, point, hit,
+                  "committed key '" + SweepKey(*expect) +
+                      "' missing after recovery (scan returned " +
+                      std::to_string(row) + " of " +
+                      std::to_string(run.committed.size()) + " keys)");
+    }
+    cur.reset();
+    s = db->Commit(txn.get());
+    if (!s.ok()) {
+      return Fail(opts, point, hit, "scan txn commit: " + s.ToString());
+    }
+  }
+
+  // Oracle 3: the database is live — it accepts new committed work.
+  {
+    auto txn = db->BeginTxn();
+    const uint64_t probe = 999999999999ull;  // outside the workload keyspace
+    s = db->index()->Insert(txn.get(), SweepKey(probe), probe);
+    if (s.ok()) s = db->index()->Delete(txn.get(), SweepKey(probe), probe);
+    if (s.ok()) s = db->Commit(txn.get());
+    if (!s.ok()) {
+      return Fail(opts, point, hit, "probe transaction: " + s.ToString());
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace oir::fault

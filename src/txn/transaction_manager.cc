@@ -1,5 +1,6 @@
 #include "txn/transaction_manager.h"
 
+#include "testing/crash_point.h"
 #include "util/logging.h"
 
 namespace oir {
@@ -26,12 +27,15 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->last_lsn() != kInvalidLsn) {
     LogRecord commit;
     commit.type = LogType::kCommitTxn;
+    OIR_CRASH_POINT("txn.commit.pre_flush");
     Lsn lsn = log_->Append(&commit, txn->ctx());
     OIR_RETURN_IF_ERROR(log_->FlushTo(lsn));
+    OIR_CRASH_POINT("txn.commit.flushed");
     ReleaseTrackedLocks(txn);
     LogRecord end;
     end.type = LogType::kEndTxn;
     log_->Append(&end, txn->ctx());
+    OIR_CRASH_POINT("txn.commit.end");
   } else {
     // Nothing logged: nothing to make durable or to undo.
     ReleaseTrackedLocks(txn);
@@ -53,6 +57,7 @@ Status TransactionManager::Abort(Transaction* txn) {
     active_.erase(txn->id());
     return Status::OK();
   }
+  OIR_CRASH_POINT("txn.abort.begin");
   LogRecord abort;
   abort.type = LogType::kAbortTxn;
   log_->Append(&abort, txn->ctx());
@@ -60,6 +65,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   ApplyContext ctx{bm_, space_, log_};
   OIR_RETURN_IF_ERROR(RollbackTo(&ctx, txn->ctx(), kInvalidLsn, hook_));
 
+  OIR_CRASH_POINT("txn.abort.rolled_back");
   ReleaseTrackedLocks(txn);
   LogRecord end;
   end.type = LogType::kEndTxn;

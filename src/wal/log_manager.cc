@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/crash_point.h"
 #include "util/coding.h"
 #include "util/counters.h"
 #include "util/crc32c.h"
@@ -197,6 +198,7 @@ Status LogManager::PersistMasterLocked() {
 // serialization and the CRC — the expensive parts of an append — happen
 // outside mu_; the critical section is just the buffer append.
 Lsn LogManager::AppendEncoded(LogRecord* rec, const std::string& payload) {
+  OIR_CRASH_POINT("wal.append.pre");
   static obs::TimerStat* const timer =
       obs::MetricRegistry::Get().Timer("wal.append_ns");
   obs::ScopedTimer scope(timer);
@@ -237,6 +239,7 @@ Lsn LogManager::Append(LogRecord* rec, TxnContext* ctx) {
   Lsn lsn = AppendEncoded(rec, payload);
   ctx->last_lsn = lsn;
   if (ctx->begin_lsn == kInvalidLsn) ctx->begin_lsn = lsn;
+  OIR_CRASH_POINT("wal.append.post");
   return lsn;
 }
 
@@ -254,9 +257,16 @@ Lsn LogManager::AppendSystem(LogRecord* rec) {
 Status LogManager::FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn) {
   GlobalCounters::Get().log_flush_calls.fetch_add(1,
                                                   std::memory_order_relaxed);
+  OIR_CRASH_POINT("wal.flush.pre");
+  if (lsn < durable_lsn_) return Status::OK();
+  // Fault injection: the log device is gone — nothing new becomes durable.
+  if (fail_flushes_.load(std::memory_order_relaxed)) {
+    return Status::IOError("fault injection: log flush failed");
+  }
   if (!group_commit_) {
     // Synchronous path: flush inline on the calling thread.
-    if (lsn >= durable_lsn_) durable_lsn_ = trim_base_ + buf_.size();
+    OIR_CRASH_POINT("wal.flush.sync");
+    durable_lsn_ = trim_base_ + buf_.size();
     if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
       durable_master_ckpt_ = master_ckpt_;
     }
@@ -267,6 +277,10 @@ Status LogManager::FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn) {
   // round's write+fsync succeeded).
   for (;;) {
     if (lsn < durable_lsn_) return Status::OK();
+    if (fail_flushes_.load(std::memory_order_relaxed)) {
+      return Status::IOError("fault injection: log flush failed");
+    }
+    OIR_CRASH_POINT("wal.flush.group_wait");
     const Lsn target = trim_base_ + buf_.size();
     if (requested_lsn_ < target) requested_lsn_ = target;
     flush_cv_.notify_one();
@@ -306,12 +320,17 @@ void LogManager::FlusherLoop() {
     const Lsn prev_durable = durable_lsn_;
     static obs::TimerStat* const flush_timer =
         obs::MetricRegistry::Get().Timer("wal.flush_ns");
+    OIR_CRASH_POINT("wal.flusher.round");
     Status s;
-    {
+    if (fail_flushes_.load(std::memory_order_relaxed)) {
+      // Fault injection: the round fails before anything reaches the
+      // device; durable_lsn_ must not move.
+      s = Status::IOError("fault injection: log flush failed");
+    } else {
       obs::ScopedTimer scope(flush_timer);
       s = PersistLocked();
     }
-    if (fd_ < 0) {
+    if (s.ok() && fd_ < 0) {
       // In-memory log: no physical sync, but count the round so the
       // flush-calls-per-fsync group-size metric stays meaningful.
       GlobalCounters::Get().log_fsyncs.fetch_add(1,
@@ -319,6 +338,7 @@ void LogManager::FlusherLoop() {
     }
     if (s.ok()) {
       durable_lsn_ = target;
+      OIR_CRASH_POINT("wal.flusher.durable");
       OIR_TRACE(obs::TraceEventType::kGroupCommitFlush, target,
                 target - prev_durable);
       if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
@@ -337,6 +357,7 @@ void LogManager::FlusherLoop() {
 }
 
 void LogManager::SetMasterCheckpoint(Lsn lsn) {
+  OIR_CRASH_POINT("wal.master.set");
   std::lock_guard<std::mutex> l(mu_);
   master_ckpt_ = lsn;
   if (lsn < durable_lsn_) durable_master_ckpt_ = lsn;
@@ -350,6 +371,7 @@ Lsn LogManager::master_checkpoint() const {
 }
 
 void LogManager::DiscardPrefix(Lsn lsn) {
+  OIR_CRASH_POINT("wal.discard_prefix");
   std::lock_guard<std::mutex> l(mu_);
   if (lsn <= trim_base_ + kHeaderSize) return;
   Lsn limit = trim_base_ + buf_.size();

@@ -18,6 +18,7 @@
 // can force it for an in-memory log, where the "fsync" is a no-op, to
 // exercise the protocol in tests).
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -130,6 +131,18 @@ class LogManager : public LogFlusher {
   // Crash simulation: discard all records beyond the durability boundary.
   void SimulateCrash();
 
+  // Fault injection: while set, every flush that would need to advance the
+  // durability boundary fails with IOError (records already durable still
+  // report success). Lock-free — crash-point handlers flip it from inside
+  // arbitrary component critical sections to model the log device dying at
+  // the instant of the crash. Cleared by the test harness before recovery.
+  void SetFailFlushes(bool on) {
+    fail_flushes_.store(on, std::memory_order_relaxed);
+  }
+  bool fail_flushes() const {
+    return fail_flushes_.load(std::memory_order_relaxed);
+  }
+
   // Total bytes appended (the Table 1 "log space" metric).
   uint64_t TotalBytesAppended() const;
 
@@ -153,6 +166,8 @@ class LogManager : public LogFlusher {
   int fd_ = -1;                  // file-backed mode when >= 0
   std::string path_;
   Lsn file_synced_ = 0;          // LSN up to which the file is written
+
+  std::atomic<bool> fail_flushes_{false};
 
   mutable std::mutex mu_;
   bool group_commit_ = false;          // guarded by mu_

@@ -204,7 +204,9 @@ TEST(BTreeTest, ReverseOrderInserts) {
 
 TEST(BTreeTest, RandomOrderInserts) {
   auto db = MakeDb();
-  Random rnd(99);
+  const uint64_t seed = test::TestSeed(99);
+  OIR_SCOPED_SEED_TRACE(seed);
+  Random rnd(seed);
   std::set<uint64_t> ids;
   while (ids.size() < 1500) ids.insert(rnd.Uniform(1000000));
   std::vector<uint64_t> shuffled(ids.begin(), ids.end());
@@ -252,7 +254,9 @@ TEST(BTreeTest, DeleteBackToFront) {
 
 TEST(BTreeTest, InterleavedInsertDelete) {
   auto db = MakeDb();
-  Random rnd(3);
+  const uint64_t seed = test::TestSeed(3);
+  OIR_SCOPED_SEED_TRACE(seed);
+  Random rnd(seed);
   std::set<uint64_t> live;
   auto txn = db->BeginTxn();
   for (int step = 0; step < 5000; ++step) {
@@ -293,7 +297,9 @@ TEST(BTreeTest, DuplicateUserKeysAcrossManyPages) {
 
 TEST(BTreeTest, VariableLengthKeys) {
   auto db = MakeDb();
-  Random rnd(17);
+  const uint64_t seed = test::TestSeed(17);
+  OIR_SCOPED_SEED_TRACE(seed);
+  Random rnd(seed);
   std::set<std::pair<std::string, uint64_t>> rows;
   auto txn = db->BeginTxn();
   for (int i = 0; i < 1500; ++i) {

@@ -10,6 +10,7 @@
 
 #include "core/db.h"
 #include "core/index.h"
+#include "testing/oracle.h"
 #include "tests/test_util.h"
 #include "util/random.h"
 
@@ -18,6 +19,14 @@ namespace {
 
 using test::MakeDb;
 using test::NumKey;
+
+// End-state oracle: full structural invariants (tree shape + space map
+// agreement + no leftover SMO bits), beyond what Validate() alone checks.
+void ExpectInvariants(Db* db) {
+  Status s = fault::CheckInvariants(db->tree(), db->space_manager(),
+                                    db->buffer_manager());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
 
 TEST(ConcurrencyTest, ParallelInsertsDistinctRanges) {
   auto db = MakeDb();
@@ -39,6 +48,7 @@ TEST(ConcurrencyTest, ParallelInsertsDistinctRanges) {
   TreeStats stats;
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, kThreads * kPerThread);
+  ExpectInvariants(db.get());
 }
 
 TEST(ConcurrencyTest, ParallelInsertsInterleavedKeys) {
@@ -61,9 +71,12 @@ TEST(ConcurrencyTest, ParallelInsertsInterleavedKeys) {
   TreeStats stats;
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, kThreads * kPerThread);
+  ExpectInvariants(db.get());
 }
 
 TEST(ConcurrencyTest, MixedInsertDeleteScan) {
+  const uint64_t seed = test::TestSeed(1);
+  OIR_SCOPED_SEED_TRACE(seed);
   auto db = MakeDb();
   std::vector<uint64_t> base;
   for (uint64_t i = 0; i < 4000; ++i) base.push_back(i * 4);
@@ -74,7 +87,7 @@ TEST(ConcurrencyTest, MixedInsertDeleteScan) {
 
   // Writers churn disjoint id spaces (insert then delete their own keys).
   auto writer = [&](int t) {
-    Random rnd(t + 1);
+    Random rnd(seed + t + 1);
     while (!stop.load()) {
       auto txn = db->BeginTxn();
       uint64_t id = 100000ull * (t + 1) + rnd.Uniform(5000);
@@ -121,11 +134,14 @@ TEST(ConcurrencyTest, MixedInsertDeleteScan) {
   TreeStats stats;
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, 4000u);
+  ExpectInvariants(db.get());
 }
 
 // The paper's headline property: OLTP keeps running during the rebuild,
 // and the rebuild neither loses keys nor breaks the tree.
 TEST(ConcurrencyTest, OltpDuringOnlineRebuild) {
+  const uint64_t seed = test::TestSeed(1);
+  OIR_SCOPED_SEED_TRACE(seed);
   auto db = MakeDb();
   // Half-full declustered index worth rebuilding.
   std::vector<uint64_t> base;
@@ -138,7 +154,7 @@ TEST(ConcurrencyTest, OltpDuringOnlineRebuild) {
 
   // Writers insert odd keys (never touched by the checker) and delete them.
   auto writer = [&](int t) {
-    Random rnd(1000 + t);
+    Random rnd(seed + 1000 + t);
     while (!rebuild_done.load()) {
       auto txn = db->BeginTxn();
       uint64_t id = 1 + 2 * rnd.Uniform(8000);
@@ -155,7 +171,7 @@ TEST(ConcurrencyTest, OltpDuringOnlineRebuild) {
     }
   };
   auto reader = [&] {
-    Random rnd(7);
+    Random rnd(seed + 7);
     while (!rebuild_done.load()) {
       auto txn = db->BeginTxn();
       uint64_t id = 2 * rnd.Uniform(8000);
@@ -186,6 +202,7 @@ TEST(ConcurrencyTest, OltpDuringOnlineRebuild) {
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, stable.size());
   test::ExpectTreeContains(db.get(), stable);
+  ExpectInvariants(db.get());
 }
 
 TEST(ConcurrencyTest, ScansDuringRebuildStayConsistent) {
@@ -227,6 +244,7 @@ TEST(ConcurrencyTest, ScansDuringRebuildStayConsistent) {
   for (auto& t : threads) t.join();
   ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(errors.load(), 0);
+  ExpectInvariants(db.get());
 }
 
 TEST(ConcurrencyTest, OfflineRebuildBlocksWriters) {
@@ -254,11 +272,14 @@ TEST(ConcurrencyTest, OfflineRebuildBlocksWriters) {
   TreeStats stats;
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, base.size() + 1);
+  ExpectInvariants(db.get());
 }
 
 TEST(ConcurrencyTest, ConcurrentRebuildAndHeavyInsertLoadIntoSameRange) {
   // Inserts target the same key space the rebuild is walking through —
   // maximal interaction between the copy phase locks and writer traversals.
+  const uint64_t seed = test::TestSeed(1);
+  OIR_SCOPED_SEED_TRACE(seed);
   auto db = MakeDb();
   std::vector<uint64_t> base;
   for (uint64_t i = 0; i < 4000; ++i) base.push_back(i * 10);
@@ -268,7 +289,7 @@ TEST(ConcurrencyTest, ConcurrentRebuildAndHeavyInsertLoadIntoSameRange) {
   std::atomic<uint64_t> inserted{0};
   std::vector<std::vector<uint64_t>> added(4);
   auto writer = [&](int t) {
-    Random rnd(t * 31 + 5);
+    Random rnd(seed + t * 31 + 5);
     while (!rebuild_done.load()) {
       auto txn = db->BeginTxn();
       uint64_t id = rnd.Uniform(40000);
@@ -301,9 +322,12 @@ TEST(ConcurrencyTest, ConcurrentRebuildAndHeavyInsertLoadIntoSameRange) {
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, expect.size());
   test::ExpectTreeContains(db.get(), expect);
+  ExpectInvariants(db.get());
 }
 
 TEST(ConcurrencyTest, BackToBackRebuildsUnderLoad) {
+  const uint64_t seed = test::TestSeed(1);
+  OIR_SCOPED_SEED_TRACE(seed);
   auto db = MakeDb();
   std::vector<uint64_t> base;
   for (uint64_t i = 0; i < 3000; ++i) base.push_back(i * 4);
@@ -311,7 +335,7 @@ TEST(ConcurrencyTest, BackToBackRebuildsUnderLoad) {
 
   std::atomic<bool> stop{false};
   auto writer = [&](int t) {
-    Random rnd(t);
+    Random rnd(seed + t);
     while (!stop.load()) {
       auto txn = db->BeginTxn();
       uint64_t id = 2 + 4 * rnd.Uniform(3000);  // ids ≡ 2 mod 4
@@ -335,6 +359,7 @@ TEST(ConcurrencyTest, BackToBackRebuildsUnderLoad) {
   for (auto& t : threads) t.join();
   test::ExpectTreeContains(db.get(),
                            std::set<uint64_t>(base.begin(), base.end()));
+  ExpectInvariants(db.get());
 }
 
 }  // namespace

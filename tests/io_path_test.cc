@@ -107,11 +107,13 @@ TEST(ShardedPoolTest, ConcurrentStress) {
     }
   }
 
+  const uint64_t seed = test::TestSeed(100);
+  OIR_SCOPED_SEED_TRACE(seed);
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Random rnd(t + 100);
+      Random rnd(seed + t);
       const PageId own_base = kOwnBase + t * kPerThread;
       for (int iter = 0; iter < 400; ++iter) {
         if (rnd.OneIn(3)) {

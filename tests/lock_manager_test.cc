@@ -140,12 +140,14 @@ TEST(LockManagerTest, ResetDropsEverything) {
 
 TEST(LockManagerTest, StressManyThreadsManyKeys) {
   LockManager lm;
+  const uint64_t seed = test::TestSeed(1);
+  OIR_SCOPED_SEED_TRACE(seed);
   constexpr int kThreads = 8;
   std::atomic<uint64_t> acquisitions{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Random rnd(t + 1);
+      Random rnd(seed + t);
       for (int i = 0; i < 2000; ++i) {
         LockKey k = AddressLockKey(static_cast<PageId>(rnd.Uniform(37) + 1));
         LockMode m = rnd.OneIn(3) ? LockMode::kX : LockMode::kS;

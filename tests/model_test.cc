@@ -30,7 +30,9 @@ class ModelTest : public ::testing::TestWithParam<ModelParam> {};
 
 TEST_P(ModelTest, RandomWorkloadMatchesReference) {
   const ModelParam param = GetParam();
-  Random rnd(param.seed);
+  const uint64_t seed = test::TestSeed(param.seed);
+  OIR_SCOPED_SEED_TRACE(seed);
+  Random rnd(seed);
   DbOptions opts;
   opts.page_size = param.page_size;
   opts.buffer_pool_pages = 1 << 14;

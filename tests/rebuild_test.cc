@@ -11,6 +11,7 @@
 
 #include "core/db.h"
 #include "core/index.h"
+#include "testing/oracle.h"
 #include "tests/test_util.h"
 
 namespace oir {
@@ -18,6 +19,15 @@ namespace {
 
 using test::MakeDb;
 using test::NumKey;
+
+// End-state oracle: beyond Validate(), checks that the space map agrees
+// with the tree, no page is stuck in the deallocated state and no SPLIT/
+// SHRINK/OLDPGOFSPLIT bit survived the rebuild.
+void ExpectInvariants(Db* db) {
+  Status s = fault::CheckInvariants(db->tree(), db->space_manager(),
+                                    db->buffer_manager());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
 
 // Builds a ~50%-utilized declustered index: insert 2*n keys sequentially,
 // then delete every other one (the paper's Table 1 setup: "space
@@ -46,6 +56,7 @@ TEST(RebuildTest, PreservesContentSmall) {
   test::ExpectTreeContains(db.get(), EvenIds(200));
   EXPECT_GT(res.top_actions, 0u);
   EXPECT_GT(res.keys_moved, 0u);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, PreservesContentLarge) {
@@ -55,6 +66,7 @@ TEST(RebuildTest, PreservesContentLarge) {
   RebuildResult res;
   ASSERT_OK(db->index()->RebuildOnline(opts, &res));
   test::ExpectTreeContains(db.get(), EvenIds(3000));
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, RestoresSpaceUtilization) {
@@ -71,12 +83,15 @@ TEST(RebuildTest, RestoresSpaceUtilization) {
   ASSERT_OK(db->tree()->Validate(&after));
   EXPECT_GT(after.LeafUtilization(), 0.9);
   EXPECT_LT(after.num_leaf_pages, before.num_leaf_pages * 6 / 10);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, RestoresClustering) {
   auto db = MakeDb();
   // Random insert order declusters the leaf pages badly.
-  Random rnd(5);
+  const uint64_t seed = test::TestSeed(5);
+  OIR_SCOPED_SEED_TRACE(seed);
+  Random rnd(seed);
   std::set<uint64_t> ids;
   while (ids.size() < 4000) ids.insert(rnd.Uniform(1000000));
   std::vector<uint64_t> shuffled(ids.begin(), ids.end());
@@ -98,6 +113,7 @@ TEST(RebuildTest, RestoresClustering) {
                        after.num_leaf_pages;
   EXPECT_LT(after_ratio, 0.15);  // chunk allocation restored key order
   test::ExpectTreeContains(db.get(), ids);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, FillfactorLeavesHeadroom) {
@@ -112,6 +128,7 @@ TEST(RebuildTest, FillfactorLeavesHeadroom) {
   EXPECT_GT(stats.LeafUtilization(), 0.55);
   EXPECT_LT(stats.LeafUtilization(), 0.78);
   test::ExpectTreeContains(db.get(), EvenIds(1500));
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, OldPagesAreFreedNewPagesAllocated) {
@@ -131,6 +148,7 @@ TEST(RebuildTest, OldPagesAreFreedNewPagesAllocated) {
   // Allocated pages (tree pages) match what the validator found.
   EXPECT_EQ(db->space_manager()->CountInState(PageState::kAllocated),
             after.num_leaf_pages + after.num_nonleaf_pages);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, EmptyIndexIsANoop) {
@@ -139,6 +157,7 @@ TEST(RebuildTest, EmptyIndexIsANoop) {
   ASSERT_OK(db->index()->RebuildOnline(RebuildOptions(), &res));
   EXPECT_EQ(res.keys_moved, 0u);
   test::ExpectTreeContains(db.get(), {});
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, SingleLeafRootRebuilt) {
@@ -148,6 +167,7 @@ TEST(RebuildTest, SingleLeafRootRebuilt) {
   ASSERT_OK(db->index()->RebuildOnline(RebuildOptions(), &res));
   EXPECT_EQ(res.keys_moved, 5u);
   test::ExpectTreeContains(db.get(), {1, 2, 3, 4, 5});
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, RepeatedRebuildIsIdempotent) {
@@ -164,6 +184,7 @@ TEST(RebuildTest, RepeatedRebuildIsIdempotent) {
   // A rebuild of an already-packed index does not grow it.
   EXPECT_LE(second.num_leaf_pages, first.num_leaf_pages + 1);
   test::ExpectTreeContains(db.get(), EvenIds(800));
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, NtasizeOneWorks) {
@@ -176,6 +197,7 @@ TEST(RebuildTest, NtasizeOneWorks) {
   ASSERT_OK(db->index()->RebuildOnline(opts, &res));
   test::ExpectTreeContains(db.get(), EvenIds(500));
   EXPECT_GE(res.top_actions, res.old_leaf_pages);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, LargeNtasizeReducesLoggingAndLevel1Visits) {
@@ -189,6 +211,7 @@ TEST(RebuildTest, LargeNtasizeReducesLoggingAndLevel1Visits) {
     opts.ntasize = 1;
     opts.xactsize = 256;
     ASSERT_OK(db->index()->RebuildOnline(opts, &small));
+    ExpectInvariants(db.get());
   }
   {
     auto db = MakeDb();
@@ -197,6 +220,7 @@ TEST(RebuildTest, LargeNtasizeReducesLoggingAndLevel1Visits) {
     opts.ntasize = 32;
     opts.xactsize = 256;
     ASSERT_OK(db->index()->RebuildOnline(opts, &large));
+    ExpectInvariants(db.get());
   }
   EXPECT_LT(large.log_bytes * 2, small.log_bytes);
   EXPECT_LT(large.log_records * 2, small.log_records);
@@ -210,6 +234,7 @@ TEST(RebuildTest, LogFullKeysAblationLogsMore) {
     BuildHalfFullIndex(db.get(), 1500);
     RebuildOptions opts;
     ASSERT_OK(db->index()->RebuildOnline(opts, &keycopy));
+    ExpectInvariants(db.get());
   }
   {
     auto db = MakeDb();
@@ -217,6 +242,7 @@ TEST(RebuildTest, LogFullKeysAblationLogsMore) {
     RebuildOptions opts;
     opts.log_full_keys = true;
     ASSERT_OK(db->index()->RebuildOnline(opts, &fullkeys));
+    ExpectInvariants(db.get());
   }
   // Position-only keycopy logging avoids logging the key bytes themselves.
   EXPECT_LT(keycopy.log_bytes, fullkeys.log_bytes);
@@ -235,6 +261,7 @@ TEST(RebuildTest, Level1ReorgAblation) {
     ASSERT_OK(db->index()->RebuildOnline(opts, &res));
     ASSERT_OK(db->tree()->Validate(&with_reorg));
     test::ExpectTreeContains(db.get(), EvenIds(3000));
+    ExpectInvariants(db.get());
   }
   {
     auto db = MakeDb();
@@ -245,6 +272,7 @@ TEST(RebuildTest, Level1ReorgAblation) {
     ASSERT_OK(db->index()->RebuildOnline(opts, &res));
     ASSERT_OK(db->tree()->Validate(&without_reorg));
     test::ExpectTreeContains(db.get(), EvenIds(3000));
+    ExpectInvariants(db.get());
   }
   EXPECT_LE(with_reorg.num_nonleaf_pages, without_reorg.num_nonleaf_pages);
 }
@@ -262,6 +290,7 @@ TEST(RebuildTest, XactsizeControlsTransactionCount) {
   // ceil(old_pages / xactsize) transactions plus the final empty one.
   uint64_t expect_min = before.num_leaf_pages / opts.xactsize;
   EXPECT_GE(res.transactions, expect_min);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, InvalidOptionsRejected) {
@@ -293,6 +322,7 @@ TEST(RebuildTest, WideKeysRebuild) {
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, 2000u);
   EXPECT_GT(stats.LeafUtilization(), 0.85);
+  ExpectInvariants(db.get());
 }
 
 TEST(RebuildTest, DeepTreeRebuild) {
@@ -310,6 +340,7 @@ TEST(RebuildTest, DeepTreeRebuild) {
   RebuildResult res;
   ASSERT_OK(db->index()->RebuildOnline(opts, &res));
   test::ExpectTreeContains(db.get(), EvenIds(12000));
+  ExpectInvariants(db.get());
 }
 
 // --------------------------------------------------------------- Figure 2
@@ -378,6 +409,7 @@ TEST(RebuildFigure2Test, WorkedExample) {
     EXPECT_EQ(rows_out[idx].second, id);
     ++idx;
   }
+  ExpectInvariants(db.get());
 }
 
 // Direct unit check of the figure's propagation-entry rules (Section 5.2):
@@ -403,6 +435,7 @@ TEST(RebuildFigure2Test, UpdatePlusInsertEntriesFromOneSource) {
   ASSERT_OK(db->tree()->Validate(&stats));
   EXPECT_EQ(stats.num_keys, 60u);
   EXPECT_GE(res.new_leaf_pages, res.old_leaf_pages);
+  ExpectInvariants(db.get());
 }
 
 }  // namespace

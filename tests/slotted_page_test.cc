@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "tests/test_util.h"
 #include "util/random.h"
 
 namespace oir {
@@ -150,7 +151,9 @@ TEST_F(SlottedPageTest, UsedSpaceAccounting) {
 // Property test: random inserts/deletes/replacements against a reference
 // vector, checking content and Validate() at every step.
 TEST(SlottedPagePropertyTest, RandomOpsMatchReference) {
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
+  const uint64_t base_seed = oir::test::TestSeed(1);
+  for (uint64_t seed = base_seed; seed < base_seed + 8; ++seed) {
+    OIR_SCOPED_SEED_TRACE(seed);
     Random rnd(seed);
     std::vector<char> buf(1024, 0);
     SlottedPage page(buf.data(), 1024);

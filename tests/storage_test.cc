@@ -239,11 +239,13 @@ TEST_F(BufferManagerTest, ConcurrentFetchesOfSamePage) {
 TEST_F(BufferManagerTest, ConcurrentDistinctPagesWithEviction) {
   for (PageId p = 1; p <= 64; ++p) WritePattern(p, static_cast<char>('a' + p % 26));
   ASSERT_OK(bm_.FlushAll());
+  const uint64_t seed = test::TestSeed(1);
+  OIR_SCOPED_SEED_TRACE(seed);
   std::atomic<int> errors{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 6; ++t) {
     threads.emplace_back([&, t] {
-      Random rnd(t + 1);
+      Random rnd(seed + t);
       for (int i = 0; i < 500; ++i) {
         PageId p = static_cast<PageId>(rnd.Range(1, 64));
         PageRef ref;

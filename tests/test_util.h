@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
@@ -28,6 +29,23 @@ namespace oir::test {
     ::oir::Status _st = (expr);                         \
     EXPECT_TRUE(_st.ok()) << _st.ToString();            \
   } while (0)
+
+// Seed for randomized tests: OIR_TEST_SEED in the environment overrides
+// the test's default, so any failure is reproducible with the exact
+// workload that provoked it. Pair with OIR_SCOPED_SEED_TRACE so every
+// gtest failure message carries the repro line.
+inline uint64_t TestSeed(uint64_t default_seed = 1) {
+  const char* env = std::getenv("OIR_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return default_seed;
+}
+
+// Attaches "repro: OIR_TEST_SEED=<seed>" to every assertion failure in the
+// enclosing scope.
+#define OIR_SCOPED_SEED_TRACE(seed) \
+  SCOPED_TRACE(::testing::Message() << "repro: OIR_TEST_SEED=" << (seed))
 
 inline std::unique_ptr<Db> MakeDb(uint32_t page_size = 2048,
                                   size_t pool_pages = 1 << 14) {
