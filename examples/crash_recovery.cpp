@@ -31,13 +31,13 @@ int main() {
       if (!db->index()->Insert(txn.get(), Key(i), i).ok()) return 1;
       committed.insert(i);
     }
-    db->Commit(txn.get());
+    if (!db->Commit(txn.get()).ok()) return 1;
     txn = db->BeginTxn();
     for (uint64_t i = 0; i < 50000; i += 3) {
       if (!db->index()->Delete(txn.get(), Key(i), i).ok()) return 1;
       committed.erase(i);
     }
-    db->Commit(txn.get());
+    if (!db->Commit(txn.get()).ok()) return 1;
   }
 
   // An online rebuild (its transactions commit one by one).
@@ -52,9 +52,12 @@ int main() {
   // A transaction that never commits: its inserts must vanish.
   auto loser = db->BeginTxn();
   for (uint64_t i = 0; i < 500; ++i) {
-    db->index()->Insert(loser.get(), Key(900000 + i), 900000 + i);
+    if (!db->index()->Insert(loser.get(), Key(900000 + i), 900000 + i).ok()) {
+      return 1;
+    }
   }
-  db->log_manager()->FlushAll();  // make the loser's records durable
+  // Make the loser's records durable.
+  if (!db->log_manager()->FlushAll().ok()) return 1;
   loser.release();                // ... and never commit it
 
   // CRASH. Dirty pages and the unflushed log tail are gone; locks die.
@@ -82,9 +85,11 @@ int main() {
   // The database stays usable after recovery.
   auto txn = db->BeginTxn();
   bool found = false;
-  db->index()->Lookup(txn.get(), Key(900000), 900000, &found);
+  if (!db->index()->Lookup(txn.get(), Key(900000), 900000, &found).ok()) {
+    return 1;
+  }
   std::printf("loser's insert visible after recovery: %s\n",
               found ? "YES (bug!)" : "no (correctly rolled back)");
-  db->Commit(txn.get());
+  if (!db->Commit(txn.get()).ok()) return 1;
   return tree.num_keys == committed.size() && !found ? 0 : 1;
 }

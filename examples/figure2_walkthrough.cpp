@@ -84,12 +84,12 @@ int main() {
     for (uint64_t i = 0; i < 99; ++i) {
       if (!db->index()->Insert(txn.get(), key(i), i).ok()) return 1;
     }
-    db->Commit(txn.get());
+    if (!db->Commit(txn.get()).ok()) return 1;
     txn = db->BeginTxn();
     for (uint64_t i = 15; i < 85; i += 2) {
       if (!db->index()->Delete(txn.get(), key(i), i).ok()) return 1;
     }
-    db->Commit(txn.get());
+    if (!db->Commit(txn.get()).ok()) return 1;
   }
 
   DumpTree(db.get(), "\n=== before the rebuild (declustered middle) ===");

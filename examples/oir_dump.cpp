@@ -123,12 +123,12 @@ int MakeDemo(std::string* base) {
   for (uint64_t i = 0; i < 500; ++i) {
     char key[32];
     std::snprintf(key, sizeof(key), "item-%06llu", (unsigned long long)i);
-    db->index()->Insert(txn.get(), key, i);
+    if (!db->index()->Insert(txn.get(), key, i).ok()) return 1;
   }
-  db->Commit(txn.get());
+  if (!db->Commit(txn.get()).ok()) return 1;
   RebuildResult res;
-  db->index()->RebuildOnline(RebuildOptions(), &res);
-  db->Checkpoint();
+  if (!db->index()->RebuildOnline(RebuildOptions(), &res).ok()) return 1;
+  if (!db->Checkpoint().ok()) return 1;
   std::printf("(no arguments: created a demo database at %s.{db,log})\n\n",
               base->c_str());
   return 0;

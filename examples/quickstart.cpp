@@ -45,7 +45,7 @@ int main() {
     s = db->index()->Lookup(txn.get(), "user-00000007", 1, &found);
     std::printf("lookup(user-00000007, rowid 1): %s\n",
                 found ? "found" : "not found");
-    db->Commit(txn.get());
+    if (!db->Commit(txn.get()).ok()) return 1;
   }
 
   // 4. Range scan: first five keys at or after "user-00005000".
@@ -58,14 +58,14 @@ int main() {
       std::printf("  %.*s -> rowid %llu\n",
                   (int)cursor->user_key().size(), cursor->user_key().data(),
                   (unsigned long long)cursor->rid());
-      cursor->Next();
+      (void)cursor->Next();  // Valid() gates the next iteration
     }
-    db->Commit(txn.get());
+    if (!db->Commit(txn.get()).ok()) return 1;
   }
 
   // 5. Check the tree's health and utilization, then rebuild it online.
   TreeStats before;
-  db->tree()->Validate(&before);
+  if (!db->tree()->Validate(&before).ok()) return 1;
   std::printf("before rebuild: %llu leaf pages, %.0f%% utilized, height %u\n",
               (unsigned long long)before.num_leaf_pages,
               before.LeafUtilization() * 100, before.height);
@@ -79,7 +79,7 @@ int main() {
   }
 
   TreeStats after;
-  db->tree()->Validate(&after);
+  if (!db->tree()->Validate(&after).ok()) return 1;
   std::printf("after rebuild:  %llu leaf pages, %.0f%% utilized, height %u\n",
               (unsigned long long)after.num_leaf_pages,
               after.LeafUtilization() * 100, after.height);

@@ -64,7 +64,7 @@ Status BTree::Open() {
 }
 
 Status BTree::SetRoot(OpCtx op, PageId new_root) {
-  std::lock_guard<std::mutex> ml(meta_mu_);
+  MutexLock ml(meta_mu_);
   PageRef meta;
   OIR_RETURN_IF_ERROR(bm_->Fetch(kMetaPageId, &meta));
   meta.latch().LockX();
@@ -84,7 +84,7 @@ Status BTree::SetRoot(OpCtx op, PageId new_root) {
 }
 
 void BTree::ResetTransient() {
-  std::lock_guard<std::mutex> l(side_mu_);
+  MutexLock l(side_mu_);
   side_entries_.clear();
   root_.store(kInvalidPageId, std::memory_order_release);
 }
@@ -92,17 +92,17 @@ void BTree::ResetTransient() {
 // ---------------------------------------------------------- side entries
 
 void BTree::SetSideEntry(PageId page, std::string sep, PageId right) {
-  std::lock_guard<std::mutex> l(side_mu_);
+  MutexLock l(side_mu_);
   side_entries_[page] = {std::move(sep), right};
 }
 
 void BTree::EraseSideEntry(PageId page) {
-  std::lock_guard<std::mutex> l(side_mu_);
+  MutexLock l(side_mu_);
   side_entries_.erase(page);
 }
 
 bool BTree::GetSideEntry(PageId page, std::string* sep, PageId* right) const {
-  std::lock_guard<std::mutex> l(side_mu_);
+  MutexLock l(side_mu_);
   auto it = side_entries_.find(page);
   if (it == side_entries_.end()) return false;
   *sep = it->second.first;

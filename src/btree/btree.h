@@ -19,7 +19,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "space/space_manager.h"
 #include "storage/buffer_manager.h"
 #include "sync/lock_manager.h"
+#include "sync/mutex.h"
 #include "util/status.h"
 #include "wal/log_manager.h"
 
@@ -238,10 +238,13 @@ class BTree : public LogicalUndoHook {
   SpaceManager* const space_;
 
   std::atomic<PageId> root_{kInvalidPageId};
-  std::mutex meta_mu_;
+  // Serializes root changes (the root_ atomic itself is lock-free for
+  // readers; meta_mu_ orders the meta-page update with the WAL append).
+  Mutex meta_mu_;
 
-  mutable std::mutex side_mu_;
-  std::unordered_map<PageId, std::pair<std::string, PageId>> side_entries_;
+  mutable Mutex side_mu_;
+  std::unordered_map<PageId, std::pair<std::string, PageId>> side_entries_
+      OIR_GUARDED_BY(side_mu_);
 };
 
 }  // namespace oir

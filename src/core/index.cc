@@ -83,7 +83,7 @@ Status Index::RebuildOffline(RebuildResult* result) {
   Status s = locks_->Lock(txn->id(), LogicalLockKey(kTableLockId),
                           LockMode::kX, /*conditional=*/false);
   if (!s.ok()) {
-    tm_->Abort(txn.get());
+    (void)tm_->Abort(txn.get());  // already propagating the first error
     return s;
   }
   txn->TrackLock(LogicalLockKey(kTableLockId));
@@ -117,7 +117,7 @@ Status Index::RebuildOffline(RebuildResult* result) {
     }
   }
   if (!s.ok()) {
-    tm_->Abort(txn.get());
+    (void)tm_->Abort(txn.get());  // already propagating the first error
     return s;
   }
 
@@ -224,7 +224,7 @@ Status Index::RebuildOffline(RebuildResult* result) {
     }
   }
   if (!s.ok()) {
-    tm_->Abort(txn.get());
+    (void)tm_->Abort(txn.get());  // already propagating the first error
     return s;
   }
   OIR_RETURN_IF_ERROR(bm_->FlushAll());

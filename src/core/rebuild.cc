@@ -190,7 +190,8 @@ Status OnlineRebuilder::Impl::Run() {
       // rolled back inside TopAction; completed top actions survive the
       // transaction rollback (nested top actions). Their new pages must be
       // flushed before their old pages are freed.
-      bm->FlushPages(flush_pages_txn, opts.io_pages);
+      // Best-effort: the abort outcome does not depend on this flush.
+      (void)bm->FlushPages(flush_pages_txn, opts.io_pages);
       Status ab = tm->Abort(txn.get());
       (void)ab;
       for (PageId p : old_pages_txn) {

@@ -47,23 +47,23 @@ MetricRegistry& MetricRegistry::Get() {
 
 void MetricRegistry::RegisterCounter(const std::string& name,
                                      const std::atomic<uint64_t>* v) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   counters_[name] = v;
 }
 
 void MetricRegistry::RegisterGauge(const std::string& name,
                                    std::function<uint64_t()> fn) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   gauges_[name] = std::move(fn);
 }
 
 void MetricRegistry::UnregisterGauge(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   gauges_.erase(name);
 }
 
 TimerStat* MetricRegistry::Timer(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = timers_.find(name);
   if (it == timers_.end()) {
     it = timers_.emplace(name, std::make_unique<TimerStat>(name)).first;
@@ -78,7 +78,7 @@ MetricRegistry::Snapshot MetricRegistry::TakeSnapshot() const {
   std::vector<std::pair<std::string, std::function<uint64_t()>>> gauges;
   std::vector<TimerStat*> timers;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     counters.assign(counters_.begin(), counters_.end());
     gauges.assign(gauges_.begin(), gauges_.end());
     timers.reserve(timers_.size());
@@ -113,7 +113,7 @@ MetricRegistry::Snapshot MetricRegistry::TakeSnapshot() const {
 void MetricRegistry::ResetTimers() {
   std::vector<TimerStat*> timers;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     timers.reserve(timers_.size());
     for (const auto& [_, t] : timers_) timers.push_back(t.get());
   }
@@ -121,12 +121,12 @@ void MetricRegistry::ResetTimers() {
 }
 
 void MetricRegistry::SetReport(const std::string& name, std::string json) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   reports_[name] = std::move(json);
 }
 
 std::string MetricRegistry::GetReport(const std::string& name) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = reports_.find(name);
   return it == reports_.end() ? std::string() : it->second;
 }
@@ -135,7 +135,7 @@ std::string MetricRegistry::ToJson() const {
   Snapshot snap = TakeSnapshot();
   std::map<std::string, std::string> reports;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     reports = reports_;
   }
   JsonWriter w;

@@ -15,10 +15,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sync/mutex.h"
 #include "util/clock.h"
 #include "util/histogram.h"
 
@@ -113,11 +113,13 @@ class MetricRegistry {
 
   static std::atomic<bool> timers_enabled_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, const std::atomic<uint64_t>*> counters_;
-  std::map<std::string, std::function<uint64_t()>> gauges_;
-  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
-  std::map<std::string, std::string> reports_;
+  mutable Mutex mu_;
+  std::map<std::string, const std::atomic<uint64_t>*> counters_
+      OIR_GUARDED_BY(mu_);
+  std::map<std::string, std::function<uint64_t()>> gauges_ OIR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_
+      OIR_GUARDED_BY(mu_);
+  std::map<std::string, std::string> reports_ OIR_GUARDED_BY(mu_);
 };
 
 // RAII timer scope: records elapsed wall nanoseconds into `t` on

@@ -51,7 +51,7 @@ TraceBuffer& TraceBuffer::Get() {
 
 void TraceBuffer::SetEnabled(bool on) {
   if (on && !allocated_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> l(init_mu_);
+    MutexLock l(init_mu_);
     if (!allocated_.load(std::memory_order_relaxed)) {
       auto rings = std::make_unique<Ring[]>(kNumRings);
       for (size_t i = 0; i < kNumRings; ++i) {

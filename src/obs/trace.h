@@ -14,9 +14,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sync/mutex.h"
 
 namespace oir::obs {
 
@@ -97,8 +98,12 @@ class TraceBuffer {
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex init_mu_;
+  mutable Mutex init_mu_;
   std::atomic<bool> allocated_{false};
+  // rings_ is written once under init_mu_ (double-checked via allocated_)
+  // and thereafter read lock-free by every Record()/Snapshot() call, so it
+  // cannot be OIR_GUARDED_BY(init_mu_): the publication is the
+  // release-store of allocated_, not the mutex.
   std::unique_ptr<Ring[]> rings_;
 };
 

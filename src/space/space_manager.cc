@@ -15,7 +15,7 @@ SpaceManager::SpaceManager(Disk* disk, LogManager* log, PageId first_data_page)
       next_unused_(first_data_page) {}
 
 PageState SpaceManager::GetState(PageId page) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (page < first_data_page_) return PageState::kAllocated;
   size_t idx = page - first_data_page_;
   if (idx >= states_.size()) return PageState::kFree;
@@ -67,7 +67,7 @@ Status SpaceManager::AllocateChunk(TxnContext* ctx, uint32_t n,
   OIR_CHECK(n >= 1);
   PageId first;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     OIR_RETURN_IF_ERROR(ReserveRunLocked(n, &first));
     for (uint32_t i = 0; i < n; ++i) {
       states_[first + i - first_data_page_] = PageState::kAllocated;
@@ -89,7 +89,7 @@ Status SpaceManager::AllocateChunk(TxnContext* ctx, uint32_t n,
 
 Status SpaceManager::Deallocate(TxnContext* ctx, PageId page) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     OIR_CHECK(page >= first_data_page_ &&
               page - first_data_page_ < states_.size());
     PageState& s = states_[page - first_data_page_];
@@ -108,7 +108,7 @@ Status SpaceManager::Deallocate(TxnContext* ctx, PageId page) {
 Status SpaceManager::DeallocateBatch(TxnContext* ctx,
                                      const std::vector<PageId>& pages) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     for (PageId page : pages) {
       OIR_CHECK(page >= first_data_page_ &&
                 page - first_data_page_ < states_.size());
@@ -135,7 +135,7 @@ Status SpaceManager::DeallocateBatch(TxnContext* ctx,
 
 void SpaceManager::Free(PageId page) {
   OIR_CRASH_POINT("space.free");
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   OIR_CHECK(page >= first_data_page_ &&
             page - first_data_page_ < states_.size());
   PageState& s = states_[page - first_data_page_];
@@ -144,7 +144,7 @@ void SpaceManager::Free(PageId page) {
 }
 
 uint64_t SpaceManager::CountInState(PageState st) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t n = 0;
   for (PageState s : states_) {
     if (s == st) ++n;
@@ -153,7 +153,7 @@ uint64_t SpaceManager::CountInState(PageState st) const {
 }
 
 std::vector<PageId> SpaceManager::PagesInState(PageState st) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<PageId> out;
   for (size_t i = 0; i < states_.size(); ++i) {
     if (states_[i] == st) out.push_back(first_data_page_ + i);
@@ -162,12 +162,12 @@ std::vector<PageId> SpaceManager::PagesInState(PageState st) const {
 }
 
 PageId SpaceManager::end_page() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return next_unused_;
 }
 
 void SpaceManager::UndoAlloc(PageId page) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   OIR_CHECK(page >= first_data_page_ &&
             page - first_data_page_ < states_.size());
   PageState& s = states_[page - first_data_page_];
@@ -176,7 +176,7 @@ void SpaceManager::UndoAlloc(PageId page) {
 }
 
 void SpaceManager::UndoDealloc(PageId page) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   OIR_CHECK(page >= first_data_page_ &&
             page - first_data_page_ < states_.size());
   PageState& s = states_[page - first_data_page_];
@@ -185,7 +185,7 @@ void SpaceManager::UndoDealloc(PageId page) {
 }
 
 void SpaceManager::SetStateForRecovery(PageId page, PageState s) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   OIR_CHECK(page >= first_data_page_);
   size_t idx = page - first_data_page_;
   if (idx >= states_.size()) {
@@ -196,7 +196,7 @@ void SpaceManager::SetStateForRecovery(PageId page, PageState s) {
 }
 
 std::vector<PageId> SpaceManager::FreeAllDeallocated() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<PageId> freed;
   for (size_t i = 0; i < states_.size(); ++i) {
     if (states_[i] == PageState::kDeallocated) {
@@ -208,7 +208,7 @@ std::vector<PageId> SpaceManager::FreeAllDeallocated() {
 }
 
 void SpaceManager::ResetForRecovery() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   states_.clear();
   next_unused_ = first_data_page_;
 }

@@ -19,10 +19,10 @@
 // pages; see DESIGN.md).
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "storage/buffer_manager.h"
+#include "sync/mutex.h"
 #include "util/status.h"
 #include "util/types.h"
 #include "wal/log_manager.h"
@@ -88,19 +88,19 @@ class SpaceManager {
 
  private:
   // Finds a run of n contiguous free pages below the high-water mark, or
-  // extends the device. Called with mu_ held.
-  Status ReserveRunLocked(uint32_t n, PageId* first);
-  Status ExtendLocked(uint32_t n, PageId* first);
+  // extends the device.
+  Status ReserveRunLocked(uint32_t n, PageId* first) OIR_REQUIRES(mu_);
+  Status ExtendLocked(uint32_t n, PageId* first) OIR_REQUIRES(mu_);
 
   Disk* const disk_;
   LogManager* const log_;
   const PageId first_data_page_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // State of every page in [first_data_page_, next_unused_). Pages at and
   // beyond next_unused_ are free (device may need extension).
-  std::vector<PageState> states_;
-  PageId next_unused_;
+  std::vector<PageState> states_ OIR_GUARDED_BY(mu_);
+  PageId next_unused_ OIR_GUARDED_BY(mu_);
 };
 
 }  // namespace oir

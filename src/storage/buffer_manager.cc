@@ -72,7 +72,7 @@ BufferManager::BufferManager(Disk* disk, size_t pool_frames, size_t shards)
 BufferManager::~BufferManager() {
 #ifndef NDEBUG
   for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     for (size_t i = sh.start; i < sh.start + sh.count; ++i) {
       OIR_DCHECK(frames_[i].pin_count == 0);
     }
@@ -82,7 +82,7 @@ BufferManager::~BufferManager() {
 
 void BufferManager::Unpin(size_t frame, PageId id) {
   Shard& sh = ShardOf(id);
-  std::lock_guard<std::mutex> l(sh.mu);
+  MutexLock l(sh.mu);
   Frame& f = frames_[frame];
   OIR_CHECK(f.page_id == id && f.pin_count > 0);
   --f.pin_count;
@@ -90,9 +90,8 @@ void BufferManager::Unpin(size_t frame, PageId id) {
   if (f.pin_count == 0) NotifyAll(sh);
 }
 
-Status BufferManager::AllocateFrameLocked(Shard& sh,
-                                          std::unique_lock<std::mutex>* lk,
-                                          PageId for_page, size_t* out_frame) {
+Status BufferManager::AllocateFrameLocked(Shard& sh, PageId for_page,
+                                          size_t* out_frame) {
   auto& c = GlobalCounters::Get();
   for (;;) {
     if (!sh.free_list.empty()) {
@@ -136,9 +135,9 @@ Status BufferManager::AllocateFrameLocked(Shard& sh,
     const bool was_dirty = vf.dirty.exchange(false, std::memory_order_acquire);
     vf.loading = true;  // protect from concurrent use during write-back
     if (was_dirty) {
-      lk->unlock();
+      sh.mu.Unlock();
       Status s = WriteBack(victim);
-      lk->lock();
+      sh.mu.Lock();
       if (!s.ok()) {
         vf.dirty.store(true, std::memory_order_release);
         vf.loading = false;
@@ -194,31 +193,35 @@ Status BufferManager::Fetch(PageId id, PageRef* out) {
   obs::ScopedTimer scope(timer);
   auto& c = GlobalCounters::Get();
   Shard& sh = ShardOf(id);
-  std::unique_lock<std::mutex> lk(sh.mu);
+  sh.mu.Lock();
   for (;;) {
     auto it = sh.table.find(id);
     if (it != sh.table.end()) {
       Frame& f = frames_[it->second];
       if (f.loading) {
-        WaitOn(sh, &lk);
+        WaitOn(sh);
         continue;
       }
       ++f.pin_count;
       f.ref = true;
       c.pool_hits.fetch_add(1, std::memory_order_relaxed);
       *out = PageRef(this, it->second, id);
+      sh.mu.Unlock();
       return Status::OK();
     }
     size_t frame;
-    Status alloc = AllocateFrameLocked(sh, &lk, id, &frame);
+    Status alloc = AllocateFrameLocked(sh, id, &frame);
     if (alloc.IsBusy()) continue;  // raced with another fetcher; retry
-    OIR_RETURN_IF_ERROR(alloc);
+    if (!alloc.ok()) {
+      sh.mu.Unlock();
+      return alloc;
+    }
     c.pool_misses.fetch_add(1, std::memory_order_relaxed);
     // Frame is mapped to `id`, pinned once, loading=true. Do the read
     // without the shard mutex.
-    lk.unlock();
+    sh.mu.Unlock();
     Status s = disk_->ReadPage(id, frames_[frame].data.get());
-    lk.lock();
+    sh.mu.Lock();
     Frame& f = frames_[frame];
     f.loading = false;
     NotifyAll(sh);
@@ -229,9 +232,11 @@ Status BufferManager::Fetch(PageId id, PageRef* out) {
       sh.table.erase(id);
       f.page_id = kInvalidPageId;
       sh.free_list.push_back(frame);
+      sh.mu.Unlock();
       return s;
     }
     *out = PageRef(this, frame, id);
+    sh.mu.Unlock();
     return Status::OK();
   }
 }
@@ -239,19 +244,19 @@ Status BufferManager::Fetch(PageId id, PageRef* out) {
 Status BufferManager::Create(PageId id, PageRef* out) {
   OIR_CHECK(id != kInvalidPageId);
   Shard& sh = ShardOf(id);
-  std::unique_lock<std::mutex> lk(sh.mu);
+  MutexLock lk(sh.mu);
   for (;;) {
     auto it = sh.table.find(id);
     if (it != sh.table.end()) {
       Frame& f = frames_[it->second];
       if (f.loading) {
-        WaitOn(sh, &lk);
+        WaitOn(sh);
         continue;
       }
       // Stale cached copy of a previously freed page: reuse the frame once
       // any lingering reader pins drain.
       if (f.pin_count != 0) {
-        WaitOn(sh, &lk);
+        WaitOn(sh);
         continue;
       }
       ++f.pin_count;
@@ -262,7 +267,7 @@ Status BufferManager::Create(PageId id, PageRef* out) {
       return Status::OK();
     }
     size_t frame;
-    Status alloc = AllocateFrameLocked(sh, &lk, id, &frame);
+    Status alloc = AllocateFrameLocked(sh, id, &frame);
     if (alloc.IsBusy()) continue;  // raced with another fetcher; retry
     OIR_RETURN_IF_ERROR(alloc);
     Frame& f = frames_[frame];
@@ -276,26 +281,31 @@ Status BufferManager::Create(PageId id, PageRef* out) {
 
 Status BufferManager::FlushPage(PageId id) {
   Shard& sh = ShardOf(id);
-  std::unique_lock<std::mutex> lk(sh.mu);
+  sh.mu.Lock();
   for (;;) {
     auto it = sh.table.find(id);
-    if (it == sh.table.end()) return Status::OK();
+    if (it == sh.table.end()) {
+      sh.mu.Unlock();
+      return Status::OK();
+    }
     size_t frame = it->second;
     Frame& f = frames_[frame];
     if (f.loading) {
-      WaitOn(sh, &lk);
+      WaitOn(sh);
       continue;  // frame may have been remapped while we waited
     }
     if (!f.dirty.exchange(false, std::memory_order_acquire)) {
+      sh.mu.Unlock();
       return Status::OK();
     }
     ++f.pin_count;  // keep the frame stable during write-back
-    lk.unlock();
+    sh.mu.Unlock();
     Status s = WriteBack(frame);
-    lk.lock();
+    sh.mu.Lock();
     if (!s.ok()) f.dirty.store(true, std::memory_order_release);
     --f.pin_count;
     if (f.pin_count == 0) NotifyAll(sh);
+    sh.mu.Unlock();
     return s;
   }
 }
@@ -303,7 +313,7 @@ Status BufferManager::FlushPage(PageId id) {
 Status BufferManager::FlushAll() {
   std::vector<PageId> ids;
   for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     for (const auto& [id, frame] : sh.table) {
       if (frames_[frame].dirty.load(std::memory_order_acquire)) {
         ids.push_back(id);
@@ -337,13 +347,13 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
            sorted[i] == run_start + run_len) {
       PageId id = sorted[i];
       Shard& sh = ShardOf(id);
-      std::unique_lock<std::mutex> lk(sh.mu);
+      sh.mu.Lock();
       size_t frame = SIZE_MAX;
       for (;;) {
         auto it = sh.table.find(id);
         if (it == sh.table.end()) break;
         if (frames_[it->second].loading) {
-          WaitOn(sh, &lk);
+          WaitOn(sh);
           continue;  // re-find: frame may have been remapped
         }
         frame = it->second;
@@ -352,7 +362,7 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
       if (frame == SIZE_MAX) {
         // Not cached (already written back or evicted). Break the run here
         // so disk offsets stay aligned.
-        lk.unlock();
+        sh.mu.Unlock();
         if (run_len == 0) {
           ++i;
           run_start = i < sorted.size() ? sorted[i] : kInvalidPageId;
@@ -363,7 +373,7 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
       Frame& fr = frames_[frame];
       ++fr.pin_count;
       fr.dirty.store(false, std::memory_order_relaxed);  // claimed below
-      lk.unlock();
+      sh.mu.Unlock();
       fr.latch.LockS();
       std::memcpy(run_buf.get() + static_cast<size_t>(run_len) * page_size_,
                   fr.data.get(), page_size_);
@@ -372,10 +382,10 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
                          static_cast<size_t>(run_len) * page_size_)
                     ->page_lsn;
       max_lsn = std::max(max_lsn, lsn);
-      lk.lock();
+      sh.mu.Lock();
       --fr.pin_count;
       if (fr.pin_count == 0) NotifyAll(sh);
-      lk.unlock();
+      sh.mu.Unlock();
       ++run_len;
       ++i;
     }
@@ -421,7 +431,7 @@ Status BufferManager::Prefetch(PageId first, uint32_t count) {
   auto undo = [&](Status why) {
     for (const Slot& s : slots) {
       Shard& sh = ShardOf(s.id);
-      std::lock_guard<std::mutex> l(sh.mu);
+      MutexLock l(sh.mu);
       Frame& f = frames_[s.frame];
       sh.table.erase(s.id);
       f.page_id = kInvalidPageId;
@@ -435,12 +445,18 @@ Status BufferManager::Prefetch(PageId first, uint32_t count) {
   for (uint32_t i = 0; i < count; ++i) {
     const PageId id = first + i;
     Shard& sh = ShardOf(id);
-    std::unique_lock<std::mutex> lk(sh.mu);
-    if (sh.table.count(id) != 0) continue;  // cached copy wins: skip
+    sh.mu.Lock();
+    if (sh.table.count(id) != 0) {  // cached copy wins: skip
+      sh.mu.Unlock();
+      continue;
+    }
     size_t frame;
-    Status alloc = AllocateFrameLocked(sh, &lk, id, &frame);
-    if (alloc.IsBusy()) continue;    // another thread just mapped it
-    if (alloc.IsNoSpace()) continue; // best-effort: shard full of pins
+    Status alloc = AllocateFrameLocked(sh, id, &frame);
+    sh.mu.Unlock();
+    if (alloc.IsBusy()) continue;     // another thread just mapped it
+    if (alloc.IsNoSpace()) continue;  // best-effort: shard full of pins
+    // Unlock before undo(): it takes the shard mutex of every reserved
+    // slot, which can include this very shard.
     if (!alloc.ok()) return undo(alloc);
     slots.push_back(Slot{id, frame, i});
   }
@@ -459,7 +475,7 @@ Status BufferManager::Prefetch(PageId first, uint32_t count) {
                 stage.get() + static_cast<size_t>(s.off) * page_size_,
                 page_size_);
     Shard& sh = ShardOf(s.id);
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     Frame& f = frames_[s.frame];
     f.loading = false;
     f.pin_count = 0;
@@ -471,7 +487,7 @@ Status BufferManager::Prefetch(PageId first, uint32_t count) {
 
 void BufferManager::Discard(PageId id) {
   Shard& sh = ShardOf(id);
-  std::unique_lock<std::mutex> lk(sh.mu);
+  MutexLock lk(sh.mu);
   for (;;) {
     auto it = sh.table.find(id);
     if (it == sh.table.end()) return;
@@ -479,7 +495,7 @@ void BufferManager::Discard(PageId id) {
     if (f.loading || f.pin_count != 0) {
       // A reader (e.g. a scan repositioning itself) may hold a short pin on
       // a page being freed; wait for it to drain.
-      WaitOn(sh, &lk);
+      WaitOn(sh);
       continue;
     }
     f.dirty.store(false, std::memory_order_relaxed);
@@ -492,7 +508,7 @@ void BufferManager::Discard(PageId id) {
 
 void BufferManager::DropAll() {
   for (Shard& sh : shards_) {
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     for (auto& [id, frame] : sh.table) {
       Frame& f = frames_[frame];
       OIR_CHECK(f.pin_count == 0 && !f.loading);
@@ -507,7 +523,7 @@ void BufferManager::DropAll() {
 size_t BufferManager::CachedPages() const {
   size_t total = 0;
   for (const Shard& sh : shards_) {
-    std::lock_guard<std::mutex> l(sh.mu);
+    MutexLock l(sh.mu);
     total += sh.table.size();
   }
   return total;

@@ -25,17 +25,16 @@
 //     FlushPages, used by the rebuild's copy phase.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/disk.h"
 #include "storage/page.h"
 #include "sync/latch.h"
+#include "sync/mutex.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -177,15 +176,24 @@ class BufferManager {
   };
 
   // One partition of the pool: owns frames [start, start+count) of frames_.
+  // start and count are fixed at construction; everything else is guarded
+  // by the shard mutex. The Frame fields themselves cannot carry
+  // OIR_GUARDED_BY: which shard guards a frame is a dynamic property of the
+  // page currently mapped into it (frames are reached through the shard's
+  // table), which the static analysis cannot name.
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    size_t cv_waiters = 0;  // guarded by mu; skip notify when zero
-    std::unordered_map<PageId, size_t> table;  // id -> global frame index
-    std::vector<size_t> free_list;             // global frame indices
+    mutable Mutex mu;
+    CondVar cv;
+    // Skip notify when zero.
+    size_t cv_waiters OIR_GUARDED_BY(mu) = 0;
+    // id -> global frame index.
+    std::unordered_map<PageId, size_t> table OIR_GUARDED_BY(mu);
+    // Global frame indices.
+    std::vector<size_t> free_list OIR_GUARDED_BY(mu);
     size_t start = 0;
     size_t count = 0;
-    size_t clock_hand = 0;  // local offset within [start, start+count)
+    // Local offset within [start, start+count).
+    size_t clock_hand OIR_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardOf(PageId id) {
@@ -194,22 +202,23 @@ class BufferManager {
     return shards_[(id * 2654435761u) & shard_mask_];
   }
 
-  static void WaitOn(Shard& s, std::unique_lock<std::mutex>* lk) {
+  static void WaitOn(Shard& s) OIR_REQUIRES(s.mu) {
     ++s.cv_waiters;
-    s.cv.wait(*lk);
+    s.cv.Wait(s.mu);
     --s.cv_waiters;
   }
-  static void NotifyAll(Shard& s) {
-    if (s.cv_waiters != 0) s.cv.notify_all();
+  static void NotifyAll(Shard& s) OIR_REQUIRES(s.mu) {
+    if (s.cv_waiters != 0) s.cv.NotifyAll();
   }
 
   void Unpin(size_t frame, PageId id);
 
   // Finds a frame to (re)use in `shard`. Called with the shard mutex held;
-  // may release and reacquire it around eviction I/O. On success the frame
-  // is marked loading with pin_count 1 and mapped to `for_page`.
-  Status AllocateFrameLocked(Shard& shard, std::unique_lock<std::mutex>* lk,
-                             PageId for_page, size_t* out_frame);
+  // may release and reacquire it around eviction I/O (it is held again on
+  // every return path). On success the frame is marked loading with
+  // pin_count 1 and mapped to `for_page`.
+  Status AllocateFrameLocked(Shard& shard, PageId for_page, size_t* out_frame)
+      OIR_REQUIRES(shard.mu);
 
   // Writes the frame's page to disk (WAL constraint honored). The frame's
   // latch is taken in S mode internally to get a consistent image. Must be

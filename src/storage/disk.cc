@@ -17,7 +17,7 @@ MemDisk::MemDisk(uint32_t page_size, uint32_t initial_pages)
 }
 
 Status MemDisk::ReadMulti(PageId first, uint32_t n, char* buf) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (first + n > num_pages_) {
     return Status::IOError("read beyond device end");
   }
@@ -28,7 +28,7 @@ Status MemDisk::ReadMulti(PageId first, uint32_t n, char* buf) {
 }
 
 Status MemDisk::WriteMulti(PageId first, uint32_t n, const char* buf) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (first + n > num_pages_) {
     return Status::IOError("write beyond device end");
   }
@@ -41,12 +41,12 @@ Status MemDisk::WriteMulti(PageId first, uint32_t n, const char* buf) {
 Status MemDisk::Sync() { return Status::OK(); }
 
 uint32_t MemDisk::NumPages() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return num_pages_;
 }
 
 Status MemDisk::Extend(uint32_t new_num_pages) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (new_num_pages <= num_pages_) return Status::OK();
   data_.resize(static_cast<size_t>(new_num_pages) * page_size_, 0);
   num_pages_ = new_num_pages;
@@ -80,7 +80,7 @@ FileDisk::~FileDisk() {
 
 Status FileDisk::ReadMulti(PageId first, uint32_t n, char* buf) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     if (first + n > num_pages_) {
       return Status::IOError("read beyond device end");
     }
@@ -107,7 +107,7 @@ Status FileDisk::ReadMulti(PageId first, uint32_t n, char* buf) {
 
 Status FileDisk::WriteMulti(PageId first, uint32_t n, const char* buf) {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     if (first + n > num_pages_) {
       return Status::IOError("write beyond device end");
     }
@@ -135,12 +135,12 @@ Status FileDisk::Sync() {
 }
 
 uint32_t FileDisk::NumPages() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return num_pages_;
 }
 
 Status FileDisk::Extend(uint32_t new_num_pages) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (new_num_pages <= num_pages_) return Status::OK();
   off_t new_size = static_cast<off_t>(new_num_pages) * page_size_;
   if (::ftruncate(fd_, new_size) != 0) {

@@ -11,9 +11,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sync/mutex.h"
 
 #include "util/counters.h"
 #include "util/status.h"
@@ -85,9 +86,9 @@ class MemDisk : public Disk {
   Status Extend(uint32_t new_num_pages) override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<char> data_;
-  uint32_t num_pages_;
+  mutable Mutex mu_;
+  std::vector<char> data_ OIR_GUARDED_BY(mu_);
+  uint32_t num_pages_ OIR_GUARDED_BY(mu_);
 };
 
 // POSIX file-backed disk.
@@ -107,9 +108,9 @@ class FileDisk : public Disk {
  private:
   FileDisk(int fd, uint32_t page_size, uint32_t num_pages);
 
-  int fd_;
-  mutable std::mutex mu_;
-  uint32_t num_pages_;
+  const int fd_;
+  mutable Mutex mu_;
+  uint32_t num_pages_ OIR_GUARDED_BY(mu_);
 };
 
 }  // namespace oir

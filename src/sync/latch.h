@@ -6,6 +6,17 @@
 // page access, never across I/O waits for locks. Deadlocks are prevented by
 // the ordering rules of Section 6.5 (top-down across levels, left-to-right
 // within a level), which the B+-tree and rebuild code obey.
+//
+// Latch deliberately carries NO thread-safety-analysis annotations, unlike
+// Mutex/SharedMutex (sync/mutex.h). Latch ownership does not nest in
+// scopes: traversal hands latches over hand-over-hand (crabbing), SMO
+// helpers "consume" an X-latched page acquired by their caller, and the
+// latch lives inside a buffer frame reached through a moved PageRef — all
+// patterns the static analysis cannot express (it names capabilities by
+// syntactic expression and assumes function-scoped balance). Annotating the
+// acquire/release methods would bury the clang -Wthread-safety build in
+// unfixable diagnostics; latch discipline is instead enforced by the
+// Section 6.5 ordering rules and verified dynamically by the TSan lane.
 
 #include <shared_mutex>
 

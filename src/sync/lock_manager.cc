@@ -1,6 +1,5 @@
 #include "sync/lock_manager.h"
 
-#include <condition_variable>
 #include <cstdio>
 
 #include "obs/metrics.h"
@@ -20,12 +19,6 @@ const char* ModeName(LockMode m) { return m == LockMode::kX ? "X" : "S"; }
 
 }  // namespace
 
-struct LockManager::Shard {
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  std::unordered_map<LockKey, Entry, LockKeyHash> table;
-};
-
 LockManager::LockManager()
     : shards_(new Shard[kNumShards]),
       wait_timeout_(std::chrono::milliseconds(10000)) {}
@@ -44,9 +37,13 @@ bool LockManager::Grantable(const Entry& e, TxnId owner, LockMode mode) {
   return true;
 }
 
-void LockManager::WatchdogFire(const Entry& e, const LockKey& key,
+void LockManager::WatchdogFire(const Shard& shard, const LockKey& key,
                                TxnId owner, LockMode mode,
                                std::chrono::milliseconds waited) {
+  shard.mu.AssertHeld();
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return;
+  const Entry& e = it->second;
   GlobalCounters::Get().lock_watchdog_fires.fetch_add(
       1, std::memory_order_relaxed);
   TxnId holder_id = 0;
@@ -78,7 +75,7 @@ Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
   auto& c = GlobalCounters::Get();
   c.lock_requests.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
-  std::unique_lock<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   Entry& e = shard.table[key];
 
   auto self = e.granted.find(owner);
@@ -105,7 +102,7 @@ Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
     while (!Grantable(shard.table[key], owner, mode)) {
       auto wake = deadline;
       if (!watchdog_fired && watchdog_at < wake) wake = watchdog_at;
-      if (shard.cv.wait_until(lk, wake) == std::cv_status::timeout) {
+      if (shard.cv.WaitUntil(shard.mu, wake) == std::cv_status::timeout) {
         const auto now = std::chrono::steady_clock::now();
         if (now >= deadline) {
           OIR_TRACE(obs::TraceEventType::kLockWaitEnd, key.id, owner);
@@ -115,7 +112,7 @@ Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
         }
         if (!watchdog_fired && now >= watchdog_at) {
           watchdog_fired = true;
-          WatchdogFire(shard.table[key], key, owner, mode,
+          WatchdogFire(shard, key, owner, mode,
                        std::chrono::duration_cast<std::chrono::milliseconds>(
                            now - start));
         }
@@ -144,7 +141,7 @@ Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
   auto& c = GlobalCounters::Get();
   c.lock_requests.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = ShardFor(key);
-  std::unique_lock<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.table.find(key);
   if (it == shard.table.end() || Grantable(it->second, owner, mode)) {
     return Status::OK();
@@ -169,7 +166,7 @@ Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
     }
     auto wake = deadline;
     if (!watchdog_fired && watchdog_at < wake) wake = watchdog_at;
-    if (shard.cv.wait_until(lk, wake) == std::cv_status::timeout) {
+    if (shard.cv.WaitUntil(shard.mu, wake) == std::cv_status::timeout) {
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) {
         OIR_TRACE(obs::TraceEventType::kLockWaitEnd, key.id, owner);
@@ -177,13 +174,9 @@ Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
       }
       if (!watchdog_fired && now >= watchdog_at) {
         watchdog_fired = true;
-        // Re-find: the wait released the mutex, so it2 may be stale.
-        auto it3 = shard.table.find(key);
-        if (it3 != shard.table.end()) {
-          WatchdogFire(it3->second, key, owner, mode,
-                       std::chrono::duration_cast<std::chrono::milliseconds>(
-                           now - start));
-        }
+        WatchdogFire(shard, key, owner, mode,
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - start));
       }
     }
   }
@@ -193,7 +186,7 @@ void LockManager::Unlock(TxnId owner, LockKey key) {
   Shard& shard = ShardFor(key);
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.table.find(key);
     if (it == shard.table.end()) return;
     auto self = it->second.granted.find(owner);
@@ -204,19 +197,19 @@ void LockManager::Unlock(TxnId owner, LockKey key) {
       if (it->second.granted.empty()) shard.table.erase(it);
     }
   }
-  if (wake) shard.cv.notify_all();
+  if (wake) shard.cv.NotifyAll();
 }
 
 void LockManager::Reset() {
   for (size_t i = 0; i < kNumShards; ++i) {
-    std::lock_guard<std::mutex> lk(shards_[i].mu);
+    MutexLock lk(shards_[i].mu);
     shards_[i].table.clear();
   }
 }
 
 bool LockManager::IsHeld(TxnId owner, LockKey key, LockMode mode) const {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.table.find(key);
   if (it == shard.table.end()) return false;
   auto self = it->second.granted.find(owner);
@@ -227,7 +220,7 @@ bool LockManager::IsHeld(TxnId owner, LockKey key, LockMode mode) const {
 size_t LockManager::NumLockedKeys() const {
   size_t n = 0;
   for (size_t i = 0; i < kNumShards; ++i) {
-    std::lock_guard<std::mutex> lk(shards_[i].mu);
+    MutexLock lk(shards_[i].mu);
     n += shards_[i].table.size();
   }
   return n;

@@ -27,9 +27,9 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
+#include "sync/mutex.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -104,8 +104,6 @@ class LockManager {
   }
 
  private:
-  struct Shard;
-
   struct Holder {
     LockMode mode;
     uint32_t count;
@@ -115,15 +113,23 @@ class LockManager {
     std::map<TxnId, Holder> granted;
   };
 
+  struct Shard {
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<LockKey, Entry, LockKeyHash> table OIR_GUARDED_BY(mu);
+  };
+
   // True if `owner` may acquire `mode` given current holders.
   static bool Grantable(const Entry& e, TxnId owner, LockMode mode);
 
   Shard& ShardFor(const LockKey& key) const;
 
-  // Emits the long-wait diagnostic. The shard mutex must be held (the
-  // holder set is inspected in place).
-  static void WatchdogFire(const Entry& e, const LockKey& key, TxnId owner,
-                           LockMode mode, std::chrono::milliseconds waited);
+  // Emits the long-wait diagnostic for `key`, naming the current holder.
+  // The shard mutex must be held — the holder set is inspected in place —
+  // and the body asserts the capability before touching the table.
+  static void WatchdogFire(const Shard& shard, const LockKey& key, TxnId owner,
+                           LockMode mode, std::chrono::milliseconds waited)
+      OIR_REQUIRES(shard.mu);
 
   static constexpr size_t kNumShards = 16;
   Shard* shards_;

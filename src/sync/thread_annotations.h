@@ -1,0 +1,97 @@
+#ifndef OIR_SYNC_THREAD_ANNOTATIONS_H_
+#define OIR_SYNC_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (-Wthread-safety).
+//
+// The annotations turn the locking discipline into compiler-checked
+// documentation: a capability (a Mutex, SharedMutex or Latch) protects data
+// marked OIR_GUARDED_BY, functions declare the capabilities they need with
+// OIR_REQUIRES / acquire with OIR_ACQUIRE, and clang proves every access
+// consistent at compile time. Under non-clang compilers (and under clang
+// builds without the analysis) every macro expands to nothing, so the
+// annotations are free.
+//
+// Conventions used across src/ (see DESIGN.md, "Concurrency discipline"):
+//  * every lockable member is wrapped by the src/sync capability types —
+//    raw std::mutex / std::shared_mutex appear only inside src/sync;
+//  * data guarded by a mutex is marked OIR_GUARDED_BY(mu_) in the header;
+//  * private "...Locked()" helpers are annotated OIR_REQUIRES(mu_) instead
+//    of taking a lock argument;
+//  * condition waits go through sync/mutex.h's CondVar, whose Wait()
+//    requires the mutex — predicate loops are written as explicit while
+//    loops so the analysis sees every guarded read under the lock.
+
+// OIR_TSA_ENABLED gates the attributes: clang with the thread_safety
+// extension only. GCC accepts __attribute__((unused)) style syntax but not
+// these attributes, so everything must compile away elsewhere.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OIR_TSA_ENABLED 1
+#endif
+#endif
+
+#if defined(OIR_TSA_ENABLED)
+#define OIR_TSA(x) __attribute__((x))
+#else
+#define OIR_TSA(x)  // no-op
+#endif
+
+// A type that acts as a capability (lock). The string names the kind of
+// capability for diagnostics ("mutex", "shared_mutex", "latch").
+#define OIR_CAPABILITY(x) OIR_TSA(capability(x))
+
+// A RAII type that acquires a capability in its constructor and releases it
+// in its destructor (MutexLock and friends).
+#define OIR_SCOPED_CAPABILITY OIR_TSA(scoped_lockable)
+
+// Data members: readable/writable only while holding the capability.
+#define OIR_GUARDED_BY(x) OIR_TSA(guarded_by(x))
+// Pointer members: the pointee (not the pointer) is guarded.
+#define OIR_PT_GUARDED_BY(x) OIR_TSA(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock analysis with
+// -Wthread-safety-beta): this capability must be acquired before/after the
+// listed ones.
+#define OIR_ACQUIRED_BEFORE(...) OIR_TSA(acquired_before(__VA_ARGS__))
+#define OIR_ACQUIRED_AFTER(...) OIR_TSA(acquired_after(__VA_ARGS__))
+
+// Function attributes: the caller must hold the listed capabilities
+// (exclusively / shared) when calling.
+#define OIR_REQUIRES(...) OIR_TSA(requires_capability(__VA_ARGS__))
+#define OIR_REQUIRES_SHARED(...) OIR_TSA(requires_shared_capability(__VA_ARGS__))
+
+// Function attributes: the function acquires the capability and does not
+// release it before returning (and the caller must not already hold it).
+#define OIR_ACQUIRE(...) OIR_TSA(acquire_capability(__VA_ARGS__))
+#define OIR_ACQUIRE_SHARED(...) OIR_TSA(acquire_shared_capability(__VA_ARGS__))
+
+// Function attributes: the function releases a capability the caller holds.
+#define OIR_RELEASE(...) OIR_TSA(release_capability(__VA_ARGS__))
+#define OIR_RELEASE_SHARED(...) OIR_TSA(release_shared_capability(__VA_ARGS__))
+// Releases a capability held in either mode (used by Latch::Unlock(mode)).
+#define OIR_RELEASE_GENERIC(...) OIR_TSA(release_generic_capability(__VA_ARGS__))
+
+// Function attributes: acquires the capability iff the return value equals
+// the given boolean.
+#define OIR_TRY_ACQUIRE(...) OIR_TSA(try_acquire_capability(__VA_ARGS__))
+#define OIR_TRY_ACQUIRE_SHARED(...) \
+  OIR_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
+// The caller must NOT hold the listed capabilities (non-reentrancy).
+#define OIR_EXCLUDES(...) OIR_TSA(locks_excluded(__VA_ARGS__))
+
+// Runtime-checked assertion that the capability is held; tells the static
+// analysis to treat it as held from this point on. With no argument the
+// capability is `this` (for member functions of a capability type).
+#define OIR_ASSERT_CAPABILITY(...) OIR_TSA(assert_capability(__VA_ARGS__))
+#define OIR_ASSERT_SHARED_CAPABILITY(...) \
+  OIR_TSA(assert_shared_capability(__VA_ARGS__))
+
+// The function returns a reference to the given capability.
+#define OIR_RETURN_CAPABILITY(x) OIR_TSA(lock_returned(x))
+
+// Escape hatch: disables analysis inside the annotated function. Every use
+// carries a comment explaining why the discipline cannot be expressed.
+#define OIR_NO_THREAD_SAFETY_ANALYSIS OIR_TSA(no_thread_safety_analysis)
+
+#endif  // OIR_SYNC_THREAD_ANNOTATIONS_H_

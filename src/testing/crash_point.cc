@@ -14,7 +14,7 @@ CrashPointRegistry& CrashPointRegistry::Get() {
 void CrashPointRegistry::Hit(const char* name) {
   std::function<void()> fire;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     uint64_t& count = counts_[name];
     const uint64_t ordinal = count++;
     if (armed_ && !fired_ && ordinal == armed_hit_ && armed_name_ == name) {
@@ -31,7 +31,7 @@ void CrashPointRegistry::Hit(const char* name) {
 
 void CrashPointRegistry::Arm(const std::string& name, uint64_t hit_index,
                              std::function<void()> handler) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_ = true;
   fired_ = false;
   armed_name_ = name;
@@ -40,7 +40,7 @@ void CrashPointRegistry::Arm(const std::string& name, uint64_t hit_index,
 }
 
 void CrashPointRegistry::Disarm() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_ = false;
   fired_ = false;
   armed_name_.clear();
@@ -48,18 +48,18 @@ void CrashPointRegistry::Disarm() {
 }
 
 bool CrashPointRegistry::triggered() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return fired_;
 }
 
 std::vector<std::pair<std::string, uint64_t>> CrashPointRegistry::Snapshot()
     const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return {counts_.begin(), counts_.end()};
 }
 
 void CrashPointRegistry::ResetCounts() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   counts_.clear();
 }
 

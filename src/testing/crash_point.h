@@ -26,10 +26,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sync/mutex.h"
 
 namespace oir::fault {
 
@@ -74,13 +75,13 @@ class CrashPointRegistry {
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counts_;
-  bool armed_ = false;
-  bool fired_ = false;
-  std::string armed_name_;
-  uint64_t armed_hit_ = 0;
-  std::function<void()> handler_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t> counts_ OIR_GUARDED_BY(mu_);
+  bool armed_ OIR_GUARDED_BY(mu_) = false;
+  bool fired_ OIR_GUARDED_BY(mu_) = false;
+  std::string armed_name_ OIR_GUARDED_BY(mu_);
+  uint64_t armed_hit_ OIR_GUARDED_BY(mu_) = 0;
+  std::function<void()> handler_ OIR_GUARDED_BY(mu_);
 };
 
 }  // namespace oir::fault

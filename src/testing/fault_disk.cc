@@ -14,13 +14,13 @@ FaultInjectingDisk::FaultInjectingDisk(std::unique_ptr<Disk> base)
 void FaultInjectingDisk::Restore() {
   power_cut_.store(false, std::memory_order_relaxed);
   fail_writes_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> l(tear_mu_);
+  MutexLock l(tear_mu_);
   tear_armed_ = false;
 }
 
 void FaultInjectingDisk::TearNextWrite(PageId page, uint32_t sectors) {
   OIR_CHECK(sectors < page_size() / kSectorSize);
-  std::lock_guard<std::mutex> l(tear_mu_);
+  MutexLock l(tear_mu_);
   tear_armed_ = true;
   tear_page_ = page;
   tear_sectors_ = sectors;
@@ -53,7 +53,7 @@ Status FaultInjectingDisk::WriteMulti(PageId first, uint32_t n,
     }
   }
   {
-    std::lock_guard<std::mutex> l(tear_mu_);
+    MutexLock l(tear_mu_);
     if (tear_armed_ && tear_page_ >= first && tear_page_ < first + n) {
       tear_armed_ = false;
       const uint32_t torn_idx = tear_page_ - first;

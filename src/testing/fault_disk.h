@@ -25,9 +25,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "storage/disk.h"
+#include "sync/mutex.h"
 
 namespace oir::fault {
 
@@ -86,10 +86,10 @@ class FaultInjectingDisk : public Disk {
   std::atomic<uint32_t> fail_writes_{0};
   std::atomic<uint64_t> injected_{0};
 
-  std::mutex tear_mu_;
-  bool tear_armed_ = false;  // guarded by tear_mu_
-  PageId tear_page_ = kInvalidPageId;
-  uint32_t tear_sectors_ = 0;
+  Mutex tear_mu_;
+  bool tear_armed_ OIR_GUARDED_BY(tear_mu_) = false;
+  PageId tear_page_ OIR_GUARDED_BY(tear_mu_) = kInvalidPageId;
+  uint32_t tear_sectors_ OIR_GUARDED_BY(tear_mu_) = 0;
 };
 
 }  // namespace oir::fault

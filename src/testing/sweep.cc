@@ -102,7 +102,7 @@ void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
     for (uint32_t op = 0; op < opts.writer_ops; ++op) {
       if (reg.triggered()) break;
       if (opts.checkpoint_midway && op == opts.writer_ops / 2) {
-        db->Checkpoint();  // errors fine: fault may already have fired
+        (void)db->Checkpoint();  // errors fine: fault may already have fired
       }
 
       auto txn = db->BeginTxn();

@@ -16,7 +16,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   // the transaction's first real record; a read-only transaction never
   // touches the log.
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     active_[id] = txn.get();
   }
   return txn;
@@ -42,7 +42,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   txn->set_state(TxnState::kCommitted);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     active_.erase(txn->id());
   }
   return Status::OK();
@@ -53,7 +53,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->last_lsn() == kInvalidLsn) {
     ReleaseTrackedLocks(txn);
     txn->set_state(TxnState::kAborted);
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     active_.erase(txn->id());
     return Status::OK();
   }
@@ -72,7 +72,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   log_->Append(&end, txn->ctx());
   txn->set_state(TxnState::kAborted);
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     active_.erase(txn->id());
   }
   return Status::OK();
@@ -95,7 +95,7 @@ void TransactionManager::ReleaseTrackedLocks(Transaction* txn) {
 }
 
 void TransactionManager::ResetAfterCrash(TxnId next_id) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   active_.clear();
   TxnId cur = next_txn_id_.load(std::memory_order_relaxed);
   if (next_id > cur) next_txn_id_.store(next_id, std::memory_order_relaxed);
@@ -103,7 +103,7 @@ void TransactionManager::ResetAfterCrash(TxnId next_id) {
 
 void TransactionManager::SnapshotActive(std::vector<CheckpointTxn>* out,
                                         Lsn* oldest_begin) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   out->clear();
   *oldest_begin = kInvalidLsn;
   for (const auto& [id, txn] : active_) {
@@ -118,7 +118,7 @@ void TransactionManager::SnapshotActive(std::vector<CheckpointTxn>* out,
 }
 
 size_t TransactionManager::NumActive() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return active_.size();
 }
 

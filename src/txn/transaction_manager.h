@@ -11,11 +11,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "recovery/log_apply.h"
 #include "sync/lock_manager.h"
+#include "sync/mutex.h"
 #include "txn/transaction.h"
 #include "util/status.h"
 
@@ -75,10 +75,10 @@ class TransactionManager {
   LogicalUndoHook* hook_ = nullptr;
 
   std::atomic<TxnId> next_txn_id_{1};
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Active transactions. The Transaction object is owned by the caller and
   // must outlive its activity (guaranteed by Commit/Abort removing it).
-  std::map<TxnId, Transaction*> active_;
+  std::map<TxnId, Transaction*> active_ OIR_GUARDED_BY(mu_);
 };
 
 }  // namespace oir

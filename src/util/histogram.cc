@@ -33,8 +33,8 @@ void Histogram::Add(uint64_t value) {
   const auto& limits = BucketLimits();
   size_t b = std::upper_bound(limits.begin(), limits.end(), value) -
              limits.begin();
+  MutexLock l(mu_);
   if (b >= buckets_.size()) b = buckets_.size() - 1;
-  std::lock_guard<std::mutex> l(mu_);
   ++count_;
   sum_ += value;
   min_ = std::min(min_, value);
@@ -43,8 +43,8 @@ void Histogram::Add(uint64_t value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  std::lock_guard<std::mutex> lo(other.mu_);
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock lo(other.mu_);
+  MutexLock l(mu_);
   count_ += other.count_;
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
@@ -53,7 +53,7 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Clear() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   count_ = 0;
   sum_ = 0;
   min_ = std::numeric_limits<uint64_t>::max();
@@ -62,27 +62,27 @@ void Histogram::Clear() {
 }
 
 uint64_t Histogram::Count() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return count_;
 }
 
 uint64_t Histogram::Sum() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return sum_;
 }
 
 uint64_t Histogram::Min() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return count_ == 0 ? 0 : min_;
 }
 
 uint64_t Histogram::Max() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return max_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (count_ == 0) return 0.0;
   return static_cast<double>(sum_) / static_cast<double>(count_);
 }
@@ -114,12 +114,12 @@ double Histogram::PercentileLocked(double p) const {
 }
 
 double Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return PercentileLocked(p);
 }
 
 std::string Histogram::ToString() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   const unsigned long long mn = count_ == 0 ? 0ULL : min_;
   const double mean =
       count_ == 0 ? 0.0
@@ -135,7 +135,7 @@ std::string Histogram::ToString() const {
 }
 
 std::string Histogram::ToJson() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   const auto& limits = BucketLimits();
   const unsigned long long mn = count_ == 0 ? 0ULL : min_;
   const double mean =

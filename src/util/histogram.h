@@ -5,9 +5,10 @@
 // benchmark harness (p50/p95/p99, mean, min, max).
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sync/mutex.h"
 
 namespace oir {
 
@@ -40,14 +41,14 @@ class Histogram {
   // Exponential buckets: bucket i covers [kBucketLimits[i-1], kBucketLimits[i]).
   static const std::vector<uint64_t>& BucketLimits();
 
-  double PercentileLocked(double p) const;  // mu_ must be held
+  double PercentileLocked(double p) const OIR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint64_t count_;
-  uint64_t sum_;
-  uint64_t min_;
-  uint64_t max_;
-  std::vector<uint64_t> buckets_;
+  mutable Mutex mu_;
+  uint64_t count_ OIR_GUARDED_BY(mu_);
+  uint64_t sum_ OIR_GUARDED_BY(mu_);
+  uint64_t min_ OIR_GUARDED_BY(mu_);
+  uint64_t max_ OIR_GUARDED_BY(mu_);
+  std::vector<uint64_t> buckets_ OIR_GUARDED_BY(mu_);
 };
 
 }  // namespace oir

@@ -10,7 +10,10 @@
 
 namespace oir {
 
-class Status {
+// [[nodiscard]]: silently dropping a Status hides I/O and corruption
+// errors; callers must consume it (or explicitly cast to void with a
+// comment saying why the error is ignorable).
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,

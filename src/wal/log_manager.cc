@@ -22,17 +22,17 @@ LogManager::LogManager() : durable_lsn_(kHeaderSize) {
 
 LogManager::~LogManager() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     stop_flusher_ = true;
   }
-  flush_cv_.notify_all();
-  flushed_cv_.notify_all();
+  flush_cv_.NotifyAll();
+  flushed_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
   if (fd_ >= 0) ::close(fd_);
 }
 
 void LogManager::SetGroupCommit(bool on) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   group_commit_ = on;
   // The flusher thread is started lazily on first enable (and kept across
   // toggles) so a purely synchronous log never spawns one — and so Open's
@@ -43,7 +43,7 @@ void LogManager::SetGroupCommit(bool on) {
 }
 
 bool LogManager::group_commit() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return group_commit_;
 }
 
@@ -77,38 +77,38 @@ Status LogManager::Open(const std::string& path, bool truncate,
     if (r < 0 || static_cast<size_t>(r) != body.size()) {
       return Status::IOError("log body read failed");
     }
-    if (trim <= kHeaderSize) {
-      // Body includes the in-memory header padding.
+    // Open is single-threaded (no flusher yet), but the guarded fields are
+    // still touched under mu_ in bounded scopes: ReadRecord below takes the
+    // (non-recursive) mutex itself.
+    const Lsn trim_base = trim <= kHeaderSize ? 0 : trim;
+    {
+      MutexLock l(log->mu_);
+      // For an untrimmed log the body includes the in-memory header padding.
       log->buf_ = std::move(body);
-      log->trim_base_ = 0;
-    } else {
-      log->buf_ = std::move(body);
-      log->trim_base_ = trim;
+      log->trim_base_ = trim_base;
     }
     // A crash mid-write can leave a torn record at the tail; truncate the
     // log at the end of the valid prefix so future appends extend a clean
     // chain.
-    Lsn valid_end = log->trim_base_ > kHeaderSize
-                        ? log->trim_base_
-                        : static_cast<Lsn>(kHeaderSize);
+    Lsn valid_end =
+        trim_base > kHeaderSize ? trim_base : static_cast<Lsn>(kHeaderSize);
     {
       Lsn cur = valid_end;
       LogRecord rec;
       Lsn next = cur;
       while (true) {
-        Status rs;
-        {
-          // ReadRecord takes the mutex; we are single-threaded here.
-          rs = log->ReadRecord(cur, &rec, &next);
-        }
+        Status rs = log->ReadRecord(cur, &rec, &next);
         if (!rs.ok()) break;
         valid_end = next;
         cur = next;
       }
     }
-    log->buf_.resize(valid_end - log->trim_base_);
-    log->durable_lsn_ = valid_end;
-    log->file_synced_ = valid_end;
+    {
+      MutexLock l(log->mu_);
+      log->buf_.resize(valid_end - trim_base);
+      log->durable_lsn_ = valid_end;
+      log->file_synced_ = valid_end;
+    }
   } else {
     // Fresh file: write the header for an untrimmed log.
     std::string header("OIRLOGF1", 8);
@@ -118,6 +118,7 @@ Status LogManager::Open(const std::string& path, bool truncate,
         static_cast<ssize_t>(header.size())) {
       return Status::IOError("log header write failed");
     }
+    MutexLock l(log->mu_);
     log->file_synced_ = kHeaderSize;
     OIR_RETURN_IF_ERROR(log->PersistLocked());
   }
@@ -131,6 +132,7 @@ Status LogManager::Open(const std::string& path, bool truncate,
       Lsn master = DecodeFixed64(mbuf);
       uint32_t crc = DecodeFixed32(mbuf + 8);
       if (crc == crc32c::Value(mbuf, 8)) {
+        MutexLock l(log->mu_);
         log->master_ckpt_ = master == 0 ? kInvalidLsn : master;
         log->durable_master_ckpt_ = log->master_ckpt_;
       }
@@ -210,7 +212,7 @@ Lsn LogManager::AppendEncoded(LogRecord* rec, const std::string& payload) {
   c.log_records.fetch_add(1, std::memory_order_relaxed);
   c.log_bytes.fetch_add(sizeof(frame) + payload.size(),
                         std::memory_order_relaxed);
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   const Lsn lsn = trim_base_ + buf_.size();
   rec->lsn = lsn;
   buf_.append(frame, sizeof(frame));
@@ -254,7 +256,7 @@ Lsn LogManager::AppendSystem(LogRecord* rec) {
 // Flushing "to" an LSN must make the record AT that lsn durable; the
 // boundary is advanced to the end of the log so one flush covers every
 // record appended so far.
-Status LogManager::FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn) {
+Status LogManager::FlushToLocked(Lsn lsn) {
   GlobalCounters::Get().log_flush_calls.fetch_add(1,
                                                   std::memory_order_relaxed);
   OIR_CRASH_POINT("wal.flush.pre");
@@ -283,11 +285,12 @@ Status LogManager::FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn) {
     OIR_CRASH_POINT("wal.flush.group_wait");
     const Lsn target = trim_base_ + buf_.size();
     if (requested_lsn_ < target) requested_lsn_ = target;
-    flush_cv_.notify_one();
+    flush_cv_.NotifyOne();
     const uint64_t my_err = flush_err_seq_;
-    flushed_cv_.wait(*lk, [&] {
-      return lsn < durable_lsn_ || flush_err_seq_ != my_err || stop_flusher_;
-    });
+    while (
+        !(lsn < durable_lsn_ || flush_err_seq_ != my_err || stop_flusher_)) {
+      flushed_cv_.Wait(mu_);
+    }
     if (lsn < durable_lsn_) return Status::OK();
     if (flush_err_seq_ != my_err) return last_flush_error_;
     if (stop_flusher_) return Status::IOError("log manager shutting down");
@@ -295,23 +298,23 @@ Status LogManager::FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn) {
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  return FlushToLocked(&lk, lsn);
+  MutexLock lk(mu_);
+  return FlushToLocked(lsn);
 }
 
 Status LogManager::FlushAll() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const Lsn tail = trim_base_ + buf_.size();
   if (tail <= kHeaderSize) return Status::OK();
   // The record at tail-1 durable <=> durable_lsn_ >= tail.
-  return FlushToLocked(&lk, tail - 1);
+  return FlushToLocked(tail - 1);
 }
 
 void LogManager::FlusherLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   while (!stop_flusher_) {
     if (requested_lsn_ <= durable_lsn_) {
-      flush_cv_.wait(lk);
+      flush_cv_.Wait(mu_);
       continue;
     }
     // One batched flush round covering every record appended so far: all
@@ -351,14 +354,14 @@ void LogManager::FlusherLoop() {
       // flusher; the next FlushTo re-raises it (and retries the write).
       requested_lsn_ = durable_lsn_;
     }
-    flushed_cv_.notify_all();
+    flushed_cv_.NotifyAll();
   }
-  flushed_cv_.notify_all();
+  flushed_cv_.NotifyAll();
 }
 
 void LogManager::SetMasterCheckpoint(Lsn lsn) {
   OIR_CRASH_POINT("wal.master.set");
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   master_ckpt_ = lsn;
   if (lsn < durable_lsn_) durable_master_ckpt_ = lsn;
   Status s = PersistMasterLocked();
@@ -366,13 +369,13 @@ void LogManager::SetMasterCheckpoint(Lsn lsn) {
 }
 
 Lsn LogManager::master_checkpoint() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return master_ckpt_;
 }
 
 void LogManager::DiscardPrefix(Lsn lsn) {
   OIR_CRASH_POINT("wal.discard_prefix");
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (lsn <= trim_base_ + kHeaderSize) return;
   Lsn limit = trim_base_ + buf_.size();
   if (lsn > limit) lsn = limit;
@@ -397,22 +400,22 @@ void LogManager::DiscardPrefix(Lsn lsn) {
 }
 
 Lsn LogManager::trim_lsn() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return trim_base_ > kHeaderSize ? trim_base_ : kHeaderSize;
 }
 
 Lsn LogManager::durable_lsn() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return durable_lsn_;
 }
 
 Lsn LogManager::tail_lsn() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return trim_base_ + buf_.size();
 }
 
 Status LogManager::ReadRecord(Lsn lsn, LogRecord* rec, Lsn* next_lsn) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (lsn < kHeaderSize || lsn < trim_base_ ||
       lsn - trim_base_ + 8 > buf_.size()) {
     return Status::InvalidArgument("lsn out of range");
@@ -460,7 +463,7 @@ LogManager::Iterator LogManager::Scan(Lsn start, Lsn limit) const {
 }
 
 void LogManager::SimulateCrash() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (durable_lsn_ > trim_base_) {
     buf_.resize(durable_lsn_ - trim_base_);
   }
@@ -471,7 +474,7 @@ void LogManager::SimulateCrash() {
 }
 
 uint64_t LogManager::TotalBytesAppended() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return trim_base_ + buf_.size() - kHeaderSize;
 }
 

@@ -19,12 +19,11 @@
 // exercise the protocol in tests).
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "storage/buffer_manager.h"  // for LogFlusher
+#include "sync/mutex.h"
 #include "util/status.h"
 #include "util/types.h"
 #include "wal/log_record.h"
@@ -152,8 +151,10 @@ class LogManager : public LogFlusher {
   // Appends a pre-encoded payload: takes mu_ only for the buffer append
   // (serialization and CRC are done by the caller, outside the lock).
   Lsn AppendEncoded(LogRecord* rec, const std::string& payload);
-  Status PersistLocked();        // append [file_synced_, tail) to the file
-  Status PersistMasterLocked();  // rewrite the sidecar master record
+  // Appends [file_synced_, tail) to the file and syncs it.
+  Status PersistLocked() OIR_REQUIRES(mu_);
+  // Rewrites the sidecar master record.
+  Status PersistMasterLocked() OIR_REQUIRES(mu_);
 
   // Group-commit machinery. The flusher thread sleeps on flush_cv_ until a
   // waiter raises requested_lsn_ past durable_lsn_, then persists the whole
@@ -161,30 +162,37 @@ class LogManager : public LogFlusher {
   // published through an epoch counter so only the waiters of the failed
   // round (and later) see them.
   void FlusherLoop();
-  Status FlushToLocked(std::unique_lock<std::mutex>* lk, Lsn lsn);
+  Status FlushToLocked(Lsn lsn) OIR_REQUIRES(mu_);
 
   int fd_ = -1;                  // file-backed mode when >= 0
   std::string path_;
-  Lsn file_synced_ = 0;          // LSN up to which the file is written
 
   std::atomic<bool> fail_flushes_{false};
 
-  mutable std::mutex mu_;
-  bool group_commit_ = false;          // guarded by mu_
-  bool stop_flusher_ = false;          // guarded by mu_
-  Lsn requested_lsn_ = 0;              // highest tail any waiter needs
-  uint64_t flush_err_seq_ = 0;         // bumped on each failed flush round
-  Status last_flush_error_;
-  std::condition_variable flush_cv_;   // wakes the flusher
-  std::condition_variable flushed_cv_; // wakes FlushTo waiters
+  mutable Mutex mu_;
+  // LSN up to which the file is written and synced.
+  Lsn file_synced_ OIR_GUARDED_BY(mu_) = 0;
+  bool group_commit_ OIR_GUARDED_BY(mu_) = false;
+  bool stop_flusher_ OIR_GUARDED_BY(mu_) = false;
+  // Highest tail any waiter needs.
+  Lsn requested_lsn_ OIR_GUARDED_BY(mu_) = 0;
+  // Bumped on each failed flush round.
+  uint64_t flush_err_seq_ OIR_GUARDED_BY(mu_) = 0;
+  Status last_flush_error_ OIR_GUARDED_BY(mu_);
+  CondVar flush_cv_;    // wakes the flusher
+  CondVar flushed_cv_;  // wakes FlushTo waiters
+  // Started lazily by SetGroupCommit, joined (unlocked) by the destructor
+  // after stop_flusher_ is set — never touched concurrently, so unguarded.
   std::thread flusher_;
-  std::string buf_;        // log bytes from trim_lsn_ on, preceded by header
-                           // padding; buf_[i] holds the byte at LSN
-                           // trim_base_ + i
-  Lsn trim_base_ = 0;      // LSN of buf_[0]
-  Lsn durable_lsn_;        // exclusive: bytes [0, durable_lsn_) are durable
-  Lsn master_ckpt_ = kInvalidLsn;
-  Lsn durable_master_ckpt_ = kInvalidLsn;  // value that survives a crash
+  // Log bytes from trim_lsn_ on, preceded by header padding; buf_[i] holds
+  // the byte at LSN trim_base_ + i.
+  std::string buf_ OIR_GUARDED_BY(mu_);
+  Lsn trim_base_ OIR_GUARDED_BY(mu_) = 0;  // LSN of buf_[0]
+  // Exclusive: bytes [0, durable_lsn_) are durable.
+  Lsn durable_lsn_ OIR_GUARDED_BY(mu_);
+  Lsn master_ckpt_ OIR_GUARDED_BY(mu_) = kInvalidLsn;
+  // Value that survives a crash.
+  Lsn durable_master_ckpt_ OIR_GUARDED_BY(mu_) = kInvalidLsn;
 };
 
 }  // namespace oir

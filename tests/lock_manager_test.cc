@@ -9,7 +9,9 @@
 #include <atomic>
 #include <thread>
 
+#include "sync/mutex.h"
 #include "tests/test_util.h"
+#include "util/counters.h"
 
 namespace oir {
 namespace {
@@ -164,6 +166,58 @@ TEST(LockManagerTest, StressManyThreadsManyKeys) {
   for (auto& t : threads) t.join();
   EXPECT_GT(acquisitions.load(), 1000u);
   EXPECT_EQ(lm.NumLockedKeys(), 0u);
+}
+
+// The long-wait watchdog inspects the holder table from inside the wait
+// loop; WatchdogFire asserts the shard-mutex capability before touching it.
+// A fire with the diagnostic emitted (counter bumped) proves the assert
+// holds on that path.
+TEST(LockManagerTest, WatchdogFiresOnLongWaitAndHoldsShardMutex) {
+  LockManager lm;
+  lm.set_long_wait_threshold(std::chrono::milliseconds(50));
+  lm.set_wait_timeout(std::chrono::milliseconds(5000));
+  LockKey k = AddressLockKey(7);
+  ASSERT_OK(lm.Lock(1, k, LockMode::kX, false));
+
+  const uint64_t fires_before =
+      GlobalCounters::Get().lock_watchdog_fires.load();
+  std::thread waiter([&] {
+    Status s = lm.Lock(2, k, LockMode::kX, false);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    lm.Unlock(2, k);
+  });
+  // Hold well past the watchdog threshold so the waiter's wake fires it.
+  while (GlobalCounters::Get().lock_watchdog_fires.load() == fires_before) {
+    std::this_thread::yield();
+  }
+  lm.Unlock(1, k);
+  waiter.join();
+  EXPECT_GT(GlobalCounters::Get().lock_watchdog_fires.load(), fires_before);
+  EXPECT_EQ(lm.NumLockedKeys(), 0u);
+}
+
+// Holder tracking makes AssertHeld a real runtime check in every build
+// type, not just a hint to the static analysis.
+TEST(MutexAssertHeldDeathTest, AssertHeldAbortsWhenNotHeld) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "OIR_CHECK failed");
+  mu.Lock();
+  mu.AssertHeld();  // held: must not abort
+  mu.Unlock();
+  EXPECT_DEATH(mu.AssertHeld(), "OIR_CHECK failed");
+}
+
+TEST(MutexAssertHeldDeathTest, AssertHeldAbortsFromOtherThread) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex mu;
+  mu.Lock();
+  std::thread other([&] {
+    // Held by the main thread, not by us.
+    EXPECT_DEATH(mu.AssertHeld(), "OIR_CHECK failed");
+  });
+  other.join();
+  mu.Unlock();
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+// Negative-compile probe for the thread-safety analysis: reads a
+// OIR_GUARDED_BY member without holding its mutex. Under clang with
+// -Werror=thread-safety-analysis this file MUST fail to compile — the
+// tsa_negative ctest entry builds it and expects the failure, proving the
+// annotations are actually load-bearing (a silent no-op expansion of the
+// macros would let this compile and fail the test).
+
+#include "sync/mutex.h"
+
+namespace oir {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock l(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without mu_.
+  int UnguardedRead() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ OIR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace oir
+
+int main() {
+  oir::Counter c;
+  c.Increment();
+  return c.UnguardedRead();
+}
