@@ -44,6 +44,12 @@ struct Config {
     if (file_wal) return group_commit ? "file-group" : "file-sync";
     return force_group_commit ? "mem-group" : "mem-sync";
   }
+
+  // Whether commits ride the grouped ack protocol in this configuration;
+  // mean_group_size is only meaningful (and only reported) when they do.
+  bool GroupCommitOn() const {
+    return file_wal ? group_commit : force_group_commit;
+  }
 };
 
 struct WindowResult {
@@ -175,8 +181,7 @@ void WriteJsonScenario(std::FILE* f, const char* scenario_mode,
       "     \"pool_hits\": %llu, \"pool_misses\": %llu, "
       "\"pool_evictions\": %llu, \"pool_writebacks\": %llu, "
       "\"pool_prefetched\": %llu,\n"
-      "     \"log_flush_calls\": %llu, \"log_fsyncs\": %llu, "
-      "\"mean_group_size\": %.2f}%s\n",
+      "     \"log_flush_calls\": %llu, \"log_fsyncs\": %llu",
       cfg.name.c_str(), scenario_mode, (unsigned long long)r.shards,
       cfg.prefetch ? "true" : "false", cfg.WalLabel(),
       (unsigned long long)r.window_ms, (unsigned long long)r.ops_in_window,
@@ -186,7 +191,19 @@ void WriteJsonScenario(std::FILE* f, const char* scenario_mode,
       (unsigned long long)d.pool_writebacks,
       (unsigned long long)d.pool_prefetched,
       (unsigned long long)d.log_flush_calls,
-      (unsigned long long)d.log_fsyncs, MeanGroupSize(d), last ? "" : ",");
+      (unsigned long long)d.log_fsyncs);
+  // mean_group_size only exists when commits actually rode the grouped
+  // ack protocol (null otherwise, never a fabricated flushes/fsyncs guess).
+  if (cfg.GroupCommitOn() && d.log_groups_acked > 0) {
+    std::fprintf(f,
+                 ", \"commits_acked\": %llu, \"groups_acked\": %llu, "
+                 "\"mean_group_size\": %.2f",
+                 (unsigned long long)d.log_commits_acked,
+                 (unsigned long long)d.log_groups_acked, MeanGroupSize(d));
+  } else {
+    std::fprintf(f, ", \"mean_group_size\": null");
+  }
+  std::fprintf(f, "}%s\n", last ? "" : ",");
 }
 
 int Main(int argc, char** argv) {
@@ -278,10 +295,17 @@ int Main(int argc, char** argv) {
                 "mean-group");
     for (const Config& cfg : configs) {
       WindowResult r = RunScenario(cfg, n, kThreads, 1, 0);
-      std::printf("%-14s %10llu %10llu %12.0f %10.2f %10.2f %12.1f\n",
+      char group[32];
+      if (cfg.GroupCommitOn() && r.counters.log_groups_acked > 0) {
+        std::snprintf(group, sizeof(group), "%.1f",
+                      MeanGroupSize(r.counters));
+      } else {
+        std::snprintf(group, sizeof(group), "-");
+      }
+      std::printf("%-14s %10llu %10llu %12.0f %10.2f %10.2f %12s\n",
                   cfg.name.c_str(), (unsigned long long)r.window_ms,
                   (unsigned long long)r.ops_in_window, r.OpsPerSec(),
-                  r.p99_ms, r.max_ms, MeanGroupSize(r.counters));
+                  r.p99_ms, r.max_ms, group);
       sweep_results.emplace_back(cfg, r);
     }
   }

@@ -1,6 +1,10 @@
 #include "core/db.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/index.h"
 #include "obs/json.h"
@@ -12,13 +16,37 @@ namespace oir {
 
 Db::Db(const DbOptions& options) : options_(options) {}
 
-Db::~Db() = default;
+Db::~Db() {
+  // The write-back worker calls into the log manager (WAL-before-data),
+  // and log_ is destroyed before bm_ — stop the worker while both live.
+  if (bm_ != nullptr) bm_->StopWriteBack();
+  if (!ephemeral_wal_path_.empty()) {
+    log_.reset();  // close fds before unlinking
+    std::remove(ephemeral_wal_path_.c_str());
+    std::remove((ephemeral_wal_path_ + ".master").c_str());
+    std::remove((ephemeral_wal_path_ + ".master.tmp").c_str());
+  }
+}
 
 namespace {
 
-// Constructs the component stack shared by Open and OpenExisting.
+WalOptions WalOptionsFrom(const DbOptions& options) {
+  WalOptions w;
+  w.pipeline = options.wal_pipeline;
+  w.segment_bytes = options.wal_segment_bytes;
+  w.inflight_segments = options.wal_inflight_segments;
+  w.group_window_us = options.wal_group_window_us;
+  w.backend = options.wal_backend;
+  w.sync_mode = options.wal_sync_mode;
+  return w;
+}
+
+// Constructs the component stack shared by Open and OpenExisting. A
+// non-empty *ephemeral_wal on return means an in-memory WAL was promoted to
+// a throwaway file (OIR_TEST_WAL=file); the caller owns cleanup.
 Status BuildStack(const DbOptions& options, bool truncate_files, Db* db,
-                  std::unique_ptr<Disk>* disk, std::unique_ptr<LogManager>* log) {
+                  std::unique_ptr<Disk>* disk, std::unique_ptr<LogManager>* log,
+                  std::string* ephemeral_wal) {
   if (options.use_file_disk) {
     if (truncate_files) std::remove(options.file_path.c_str());
     std::unique_ptr<FileDisk> fd;
@@ -34,12 +62,28 @@ Status BuildStack(const DbOptions& options, bool truncate_files, Db* db,
     *disk = options.wrap_disk(std::move(*disk));
     OIR_CHECK(*disk != nullptr);
   }
-  if (!options.log_path.empty()) {
-    OIR_RETURN_IF_ERROR(
-        LogManager::Open(options.log_path, truncate_files, log));
+  std::string log_path = options.log_path;
+  if (log_path.empty()) {
+    // CI hook: OIR_TEST_WAL=file runs every test that would use an
+    // in-memory WAL against a real file-backed one (unique throwaway
+    // path), exercising the async durable path under the whole suite.
+    if (const char* e = std::getenv("OIR_TEST_WAL");
+        e != nullptr && std::string(e) == "file") {
+      static std::atomic<uint64_t> seq{0};
+      const char* dir = std::getenv("TMPDIR");
+      log_path = std::string(dir != nullptr && *dir ? dir : "/tmp") +
+                 "/oir_test_wal_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(seq.fetch_add(1)) + ".log";
+      *ephemeral_wal = log_path;
+      truncate_files = true;
+    }
+  }
+  if (!log_path.empty()) {
+    OIR_RETURN_IF_ERROR(LogManager::Open(log_path, truncate_files, log,
+                                         WalOptionsFrom(options)));
     if (!options.wal_group_commit) (*log)->SetGroupCommit(false);
   } else {
-    *log = std::make_unique<LogManager>();
+    *log = std::make_unique<LogManager>(WalOptionsFrom(options));
   }
   (void)db;
   return Status::OK();
@@ -51,11 +95,12 @@ Status Db::Open(const DbOptions& options, std::unique_ptr<Db>* out) {
   std::unique_ptr<Db> db(new Db(options));
   OIR_RETURN_IF_ERROR(
       BuildStack(options, /*truncate_files=*/true, db.get(), &db->disk_,
-                 &db->log_));
+                 &db->log_, &db->ephemeral_wal_path_));
   db->bm_ = std::make_unique<BufferManager>(db->disk_.get(),
                                             options.buffer_pool_pages,
                                             options.buffer_pool_shards);
   db->bm_->SetLogFlusher(db->log_.get());
+  if (options.async_writeback) db->bm_->StartWriteBack();
   db->locks_ = std::make_unique<LockManager>();
   db->space_ = std::make_unique<SpaceManager>(db->disk_.get(), db->log_.get(),
                                               kFirstDataPageId);
@@ -87,11 +132,12 @@ Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
   std::unique_ptr<Db> db(new Db(options));
   OIR_RETURN_IF_ERROR(
       BuildStack(options, /*truncate_files=*/false, db.get(), &db->disk_,
-                 &db->log_));
+                 &db->log_, &db->ephemeral_wal_path_));
   db->bm_ = std::make_unique<BufferManager>(db->disk_.get(),
                                             options.buffer_pool_pages,
                                             options.buffer_pool_shards);
   db->bm_->SetLogFlusher(db->log_.get());
+  if (options.async_writeback) db->bm_->StartWriteBack();
   db->locks_ = std::make_unique<LockManager>();
   db->space_ = std::make_unique<SpaceManager>(db->disk_.get(), db->log_.get(),
                                               kFirstDataPageId);
@@ -203,6 +249,11 @@ Status Db::GetStats(StatsReport* out) {
   out->wal_durable_lsn = log_->durable_lsn();
   out->wal_bytes_appended = log_->TotalBytesAppended();
   out->wal_group_commit = options_.wal_group_commit;
+  out->wal_pipeline = log_->pipeline_enabled();
+  out->wal_backend = log_->backend_name();
+  out->wal_sync_mode = log_->sync_mode_name();
+  out->wal_segment_bytes = log_->segment_bytes();
+  out->wal_inflight_segments = log_->inflight_segments();
   out->locked_keys = locks_->NumLockedKeys();
   out->root_page = tree_->root();
   out->pages_allocated = space_->CountInState(PageState::kAllocated);
@@ -234,6 +285,8 @@ std::string Db::DumpStatsJson() {
   w.Key("misses").Value(r.counters.pool_misses);
   w.Key("evictions").Value(r.counters.pool_evictions);
   w.Key("writebacks").Value(r.counters.pool_writebacks);
+  w.Key("wb_enqueued").Value(r.counters.pool_wb_enqueued);
+  w.Key("wb_async_writes").Value(r.counters.pool_wb_async_writes);
   w.Key("prefetched").Value(r.counters.pool_prefetched);
   w.EndObject();
 
@@ -242,9 +295,18 @@ std::string Db::DumpStatsJson() {
   w.Key("durable_lsn").Value(r.wal_durable_lsn);
   w.Key("bytes_appended").Value(r.wal_bytes_appended);
   w.Key("group_commit").Value(r.wal_group_commit);
+  w.Key("pipeline").Value(r.wal_pipeline);
+  w.Key("backend").Value(r.wal_backend);
+  w.Key("sync_mode").Value(r.wal_sync_mode);
+  w.Key("segment_bytes").Value(r.wal_segment_bytes);
+  w.Key("inflight_segments").Value(r.wal_inflight_segments);
   w.Key("records").Value(r.counters.log_records);
   w.Key("flush_calls").Value(r.counters.log_flush_calls);
   w.Key("fsyncs").Value(r.counters.log_fsyncs);
+  w.Key("commits_acked").Value(r.counters.log_commits_acked);
+  w.Key("groups_acked").Value(r.counters.log_groups_acked);
+  w.Key("segments_sealed").Value(r.counters.wal_segments_sealed);
+  w.Key("segments_completed").Value(r.counters.wal_segments_completed);
   w.EndObject();
 
   w.Key("lock").BeginObject();

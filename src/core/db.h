@@ -32,6 +32,11 @@ struct StatsReport {
   Lsn wal_durable_lsn = 0;
   uint64_t wal_bytes_appended = 0;
   bool wal_group_commit = false;
+  bool wal_pipeline = false;
+  std::string wal_backend;    // effective backend after probes
+  std::string wal_sync_mode;  // effective sync discipline
+  uint64_t wal_segment_bytes = 0;
+  uint64_t wal_inflight_segments = 0;
 
   // Lock manager.
   uint64_t locked_keys = 0;
@@ -115,6 +120,9 @@ class Db {
   explicit Db(const DbOptions& options);
 
   DbOptions options_;
+  // Set when OIR_TEST_WAL=file promoted an in-memory WAL to a temp file;
+  // the destructor removes the file and its master sidecar.
+  std::string ephemeral_wal_path_;
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<BufferManager> bm_;
   std::unique_ptr<LogManager> log_;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "obs/progress.h"
+#include "storage/async_io.h"
 #include "storage/page.h"
 
 namespace oir {
@@ -32,6 +33,39 @@ struct DbOptions {
   // to file-backed logs (an in-memory log has no fsync to batch; see
   // LogManager::SetGroupCommit to force it there for testing).
   bool wal_group_commit = true;
+
+  // Pipelined durable log path (file-backed logs): the WAL tail is carved
+  // into segments that a dedicated sealer thread hands to an async backend,
+  // so up to wal_inflight_segments write+sync operations overlap and
+  // committers are acked on completion instead of taking turns behind one
+  // blocking fsync. false restores the legacy one-round-at-a-time flusher
+  // (ablation / "before" benchmarks).
+  bool wal_pipeline = true;
+
+  // Maximum bytes per sealed log segment. Smaller segments reduce
+  // commit-ack latency; larger ones amortize the per-sync cost.
+  uint32_t wal_segment_bytes = 256 * 1024;
+
+  // Maximum sealed-but-not-yet-durable segments in flight.
+  uint32_t wal_inflight_segments = 4;
+
+  // Group-commit micro-batch window (microseconds): after a commit
+  // demands a flush the sealer keeps the segment open this long so
+  // concurrent commits share one device round. 0 seals immediately.
+  uint32_t wal_group_window_us = 100;
+
+  // Async log I/O backend and sync discipline (see storage/async_io.h).
+  // Both are runtime-probed with fallbacks: uring→portable worker pool,
+  // O_DIRECT→buffered fdatasync. Overridable via OIR_WAL_BACKEND /
+  // OIR_WAL_SYNC environment variables.
+  WalBackend wal_backend = WalBackend::kAuto;
+  WalSyncMode wal_sync_mode = WalSyncMode::kFdatasync;
+
+  // Background write-back worker: evictions prefer clean frames and hand
+  // dirty ones to a dedicated cleaner, and checkpoints route their dirty
+  // set through it, so foreground traffic never stalls on a data-page
+  // flush. false restores fully inline write-back.
+  bool async_writeback = true;
 
   // Back the database with a POSIX file instead of memory.
   bool use_file_disk = false;

@@ -40,6 +40,9 @@ const char* TraceEventName(TraceEventType t) {
     case TraceEventType::kPropagatePhaseBegin: return "propagate_phase_begin";
     case TraceEventType::kPropagatePhaseEnd: return "propagate_phase_end";
     case TraceEventType::kFaultInjected: return "fault_injected";
+    case TraceEventType::kWalSegSeal: return "wal_seg_seal";
+    case TraceEventType::kWalSegSubmit: return "wal_seg_submit";
+    case TraceEventType::kWalSegComplete: return "wal_seg_complete";
   }
   return "unknown";
 }

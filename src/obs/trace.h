@@ -39,6 +39,9 @@ enum class TraceEventType : uint8_t {
   kPropagatePhaseBegin, // arg0 = top-action ordinal, arg1 = 0
   kPropagatePhaseEnd,   // arg0 = top-action ordinal, arg1 = 0
   kFaultInjected,       // arg0 = first page affected, arg1 = FaultKind
+  kWalSegSeal,          // arg0 = segment end lsn,    arg1 = segment bytes
+  kWalSegSubmit,        // arg0 = segment end lsn,    arg1 = submitted bytes
+  kWalSegComplete,      // arg0 = durable lsn,        arg1 = segment bytes
 };
 
 const char* TraceEventName(TraceEventType t);

@@ -112,38 +112,72 @@ Status RecoveryManager::AnalyzeAndRedo(RecoveryStats* stats) {
 
 Status RecoveryManager::UndoLosers(LogicalUndoHook* hook,
                                    RecoveryStats* stats) {
-  // Losers are rolled back one at a time. This is safe without the strict
-  // descending-LSN interleaving of textbook ARIES because (a) leaf-level
-  // row undo is logical (order independent) and (b) physical undo only
-  // happens inside incomplete nested top actions, whose pages were
-  // X-address-locked by the owning transaction until the crash, so no two
-  // losers have interleaved physical updates on the same page.
-  for (auto& [txn_id, last_lsn] : losers_) {
+  // Clear SMO bits left on redone page images before any undo traversal
+  // runs. The bits are unlogged in-memory markers backed by address locks;
+  // after a crash no owner exists, so nothing would ever clear them during
+  // undo, and a logical undo whose traversal honored one would restart
+  // forever. Dropping them up front is safe because of the undo order
+  // below.
+  OIR_RETURN_IF_ERROR(ClearSmoBits(stats));
+
+  // Undo the losers' records in one pass in descending pre-crash LSN order
+  // (textbook ARIES interleaving), not one transaction at a time. The order
+  // is what replaces the bits' protection: an incomplete nested top action
+  // is physically undone by slot position, so its pages must not be
+  // reshaped by another loser's logical undo first. Descending order
+  // guarantees every record younger than a given LSN — in particular every
+  // step of any SMO in flight at the crash — is undone before an older
+  // record's logical undo traverses the tree, so each physical undo sees
+  // exactly the page state its forward step produced.
+  struct Cursor {
     TxnContext txc;
-    txc.txn_id = txn_id;
-    txc.last_lsn = last_lsn;
-    Lsn before = txc.last_lsn;
-    OIR_RETURN_IF_ERROR(RollbackTo(&ctx_, &txc, kInvalidLsn, hook));
-    (void)before;
-    ++stats->records_undone;
-    LogRecord end;
-    end.type = LogType::kEndTxn;
-    ctx_.log->Append(&end, &txc);
+    Lsn next = kInvalidLsn;  // next pre-crash record to examine
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(losers_.size());
+  for (auto& [txn_id, last_lsn] : losers_) {
+    Cursor c;
+    c.txc.txn_id = txn_id;
+    c.txc.last_lsn = last_lsn;
+    c.next = last_lsn;
+    cursors.push_back(std::move(c));
+  }
+  while (!cursors.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      if (cursors[i].next > cursors[best].next) best = i;
+    }
+    Cursor& c = cursors[best];
+    bool done = (c.next == kInvalidLsn);
+    if (!done) {
+      LogRecord rec;
+      OIR_RETURN_IF_ERROR(ctx_.log->ReadRecord(c.next, &rec));
+      if (rec.is_clr || rec.type == LogType::kNtaEnd) {
+        c.next = rec.undo_next;
+      } else if (rec.type == LogType::kBeginTxn) {
+        done = true;
+      } else if (rec.type == LogType::kCommitTxn ||
+                 rec.type == LogType::kAbortTxn ||
+                 rec.type == LogType::kEndTxn) {
+        c.next = rec.prev_lsn;
+      } else {
+        OIR_RETURN_IF_ERROR(UndoRecord(&ctx_, &c.txc, rec, hook));
+        ++stats->records_undone;
+        c.next = rec.prev_lsn;
+      }
+      done = done || (c.next == kInvalidLsn);
+    }
+    if (done) {
+      LogRecord end;
+      end.type = LogType::kEndTxn;
+      ctx_.log->Append(&end, &c.txc);
+      cursors.erase(cursors.begin() + best);
+    }
   }
   return Status::OK();
 }
 
-Status RecoveryManager::Finish(RecoveryStats* stats) {
-  std::vector<PageId> deallocated =
-      ctx_.space->PagesInState(PageState::kDeallocated);
-  for (PageId p : deallocated) {
-    ctx_.bm->Discard(p);
-  }
-  std::vector<PageId> freed = ctx_.space->FreeAllDeallocated();
-  stats->pages_freed += freed.size();
-
-  // Clear leftover concurrency-control bits on allocated pages: the address
-  // locks that accompanied them did not survive the crash.
+Status RecoveryManager::ClearSmoBits(RecoveryStats* stats) {
   for (PageId p : ctx_.space->PagesInState(PageState::kAllocated)) {
     PageRef ref;
     OIR_RETURN_IF_ERROR(ctx_.bm->Fetch(p, &ref));
@@ -159,6 +193,22 @@ Status RecoveryManager::Finish(RecoveryStats* stats) {
     }
   }
   return Status::OK();
+}
+
+Status RecoveryManager::Finish(RecoveryStats* stats) {
+  std::vector<PageId> deallocated =
+      ctx_.space->PagesInState(PageState::kDeallocated);
+  for (PageId p : deallocated) {
+    ctx_.bm->Discard(p);
+  }
+  std::vector<PageId> freed = ctx_.space->FreeAllDeallocated();
+  stats->pages_freed += freed.size();
+
+  // Sweep for concurrency-control bits once more (UndoLosers already
+  // cleared the crash leftovers): undo-time SMOs complete inline and clear
+  // their own bits, so this normally finds nothing, but it is cheap and
+  // keeps the invariant local.
+  return ClearSmoBits(stats);
 }
 
 }  // namespace oir

@@ -8,16 +8,21 @@
 //      page-state map from alloc/dealloc/free records, repeats history for
 //      page updates (pageLSN test), and collects loser transactions (those
 //      with no commit/end record).
-//   2. UndoLosers — rolls back every loser via the prevLSN chains, writing
-//      CLRs. Completed nested top actions are skipped via their dummy CLRs
-//      (a rebuild/split/shrink top action that finished before the crash
-//      survives even if its transaction is a loser). Leaf-level row undo is
-//      logical, through the B+-tree hook, which is why this phase runs
-//      after the tree is opened on the redone state.
+//   2. UndoLosers — first clears leftover SPLIT/SHRINK/OLDPGOFSPLIT bits
+//      (they are unlogged markers whose backing address locks died with the
+//      crash; left in place they would livelock undo-time traversals), then
+//      undoes the losers' records in descending pre-crash LSN order across
+//      transactions, writing CLRs. The strict ordering is what makes the
+//      bit-clearing safe: an in-flight SMO's physical, position-based undo
+//      runs before any older logical undo can traverse its pages. Completed
+//      nested top actions are skipped via their dummy CLRs (a rebuild/
+//      split/shrink top action that finished before the crash survives even
+//      if its transaction is a loser). Leaf-level row undo is logical,
+//      through the B+-tree hook, which is why this phase runs after the
+//      tree is opened on the redone state.
 //   3. Finish — frees pages still in the deallocated state (Section 4.1.3:
 //      the deallocated→free transition is unlogged, so recovery completes
-//      it) and clears leftover SPLIT/SHRINK/OLDPGOFSPLIT bits (the locks
-//      backing them died with the crash).
+//      it) and re-sweeps for stray bits.
 
 #include <cstdint>
 #include <map>
@@ -55,6 +60,9 @@ class RecoveryManager {
   TxnId max_txn_id() const { return max_txn_id_; }
 
  private:
+  // Clears SPLIT/SHRINK/OLDPGOFSPLIT bits on every allocated page.
+  Status ClearSmoBits(RecoveryStats* stats);
+
   ApplyContext ctx_;
   std::map<TxnId, Lsn> losers_;
   TxnId max_txn_id_ = 0;

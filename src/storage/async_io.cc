@@ -1,0 +1,660 @@
+#include "storage/async_io.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <linux/falloc.h>
+#include <sys/syscall.h>
+#endif
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#define OIR_HAVE_IO_URING 1
+#else
+#define OIR_HAVE_IO_URING 0
+#endif
+
+#include "obs/metrics.h"
+#include "sync/mutex.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace oir {
+
+const char* WalBackendName(WalBackend b) {
+  switch (b) {
+    case WalBackend::kAuto: return "auto";
+    case WalBackend::kPortable: return "portable";
+    case WalBackend::kUring: return "uring";
+  }
+  return "unknown";
+}
+
+void TryElevateLogThreadPriority() {
+  // SCHED_FIFO priority 1: the thread preempts every CFS task the moment
+  // it is woken, which is exactly the property a commit ack needs. Safe
+  // here because these threads always block between short bursts.
+  sched_param sp{};
+  sp.sched_priority = 1;
+  if (pthread_setschedparam(pthread_self(), SCHED_FIFO, &sp) == 0) return;
+#if defined(__linux__)
+  // Unprivileged fallback: nice applies per-thread on Linux.
+  ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), -10);
+#endif
+}
+
+namespace {
+// Set after the first pthread_setschedparam failure so unprivileged
+// processes pay one probe, not two syscalls per logged commit.
+std::atomic<bool> g_commit_boost_unavailable{false};
+}  // namespace
+
+ScopedCommitPriorityBoost::ScopedCommitPriorityBoost() {
+  if (g_commit_boost_unavailable.load(std::memory_order_relaxed)) return;
+  sched_param old{};
+  if (pthread_getschedparam(pthread_self(), &old_policy_, &old) != 0) {
+    g_commit_boost_unavailable.store(true, std::memory_order_relaxed);
+    return;
+  }
+  old_priority_ = old.sched_priority;
+  sched_param sp{};
+  sp.sched_priority = 1;
+  if (pthread_setschedparam(pthread_self(), SCHED_FIFO, &sp) != 0) {
+    g_commit_boost_unavailable.store(true, std::memory_order_relaxed);
+    return;
+  }
+  boosted_ = true;
+}
+
+ScopedCommitPriorityBoost::~ScopedCommitPriorityBoost() {
+  if (!boosted_) return;
+  sched_param sp{};
+  sp.sched_priority = old_priority_;
+  pthread_setschedparam(pthread_self(), old_policy_, &sp);
+}
+
+const char* WalSyncModeName(WalSyncMode m) {
+  switch (m) {
+    case WalSyncMode::kFdatasync: return "fdatasync";
+    case WalSyncMode::kFsync: return "fsync";
+    case WalSyncMode::kODirect: return "odirect";
+  }
+  return "unknown";
+}
+
+bool ParseWalBackend(const std::string& s, WalBackend* out) {
+  if (s == "auto") *out = WalBackend::kAuto;
+  else if (s == "portable") *out = WalBackend::kPortable;
+  else if (s == "uring") *out = WalBackend::kUring;
+  else return false;
+  return true;
+}
+
+bool ParseWalSyncMode(const std::string& s, WalSyncMode* out) {
+  if (s == "fdatasync") *out = WalSyncMode::kFdatasync;
+  else if (s == "fsync") *out = WalSyncMode::kFsync;
+  else if (s == "odirect") *out = WalSyncMode::kODirect;
+  else return false;
+  return true;
+}
+
+namespace {
+
+// Opens the writer's own descriptor on the log file, degrading kODirect to
+// kFdatasync when the filesystem refuses O_DIRECT. The effective mode is
+// written back to *mode.
+Status OpenWriterFd(const std::string& path, WalSyncMode* mode, int* out_fd) {
+  if (*mode == WalSyncMode::kODirect) {
+    int fd = ::open(path.c_str(), O_RDWR | O_DIRECT, 0644);
+    if (fd >= 0) {
+      *out_fd = fd;
+      return Status::OK();
+    }
+    *mode = WalSyncMode::kFdatasync;  // e.g. tmpfs: no O_DIRECT
+  }
+  int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IOError("open wal writer fd " + path + ": " +
+                           std::strerror(errno));
+  }
+  *out_fd = fd;
+  return Status::OK();
+}
+
+// Keeps the file's block allocation ahead of the append frontier so every
+// segment write lands on already-allocated blocks. With allocation done,
+// fdatasync has no block-mapping metadata to journal — which both trims the
+// common case and removes a multi-millisecond tail where the log's sync
+// waits on a filesystem journal commit shared with concurrent data-page
+// write-back. KEEP_SIZE leaves i_size untouched, so recovery's torn-tail
+// scan still sees exactly the bytes that were written. Best-effort: on
+// filesystems without fallocate the log simply keeps paying for allocation
+// inside the sync, as before.
+constexpr uint64_t kWalPreallocChunk = 64ull << 20;
+
+void PreallocateAhead(int fd, uint64_t end_offset,
+                      std::atomic<uint64_t>* allocated) {
+#if defined(__linux__) && defined(FALLOC_FL_KEEP_SIZE)
+  uint64_t cur = allocated->load(std::memory_order_relaxed);
+  if (end_offset <= cur) return;
+  uint64_t target = (end_offset / kWalPreallocChunk + 1) * kWalPreallocChunk;
+  // Concurrent callers may both extend; fallocate over an already-allocated
+  // range is an idempotent no-op, so the race is harmless.
+  if (::syscall(SYS_fallocate, fd, FALLOC_FL_KEEP_SIZE,
+                static_cast<off_t>(cur),
+                static_cast<off_t>(target - cur)) != 0) {
+    return;
+  }
+  allocated->store(target, std::memory_order_relaxed);
+#else
+  (void)fd;
+  (void)end_offset;
+  (void)allocated;
+#endif
+}
+
+Status SyncFd(int fd, WalSyncMode mode) {
+  // O_DIRECT writes bypass the page cache but the device write cache and
+  // inode size still need the barrier, so every mode ends in a sync call.
+  int rc = mode == WalSyncMode::kFsync ? ::fsync(fd) : ::fdatasync(fd);
+  if (rc != 0) {
+    return Status::IOError(std::string("wal sync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PwriteAll(int fd, const char* data, size_t len, uint64_t off) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t w = ::pwrite(fd, data + done, len - done,
+                         static_cast<off_t>(off + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wal pwrite: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Portable backend: worker-thread pool, pwrite + fdatasync per request.
+// ---------------------------------------------------------------------------
+
+class PwriteLogWriter : public AsyncLogWriter {
+ public:
+  PwriteLogWriter(int fd, WalSyncMode mode, uint32_t inflight,
+                  CompletionFn cb)
+      : fd_(fd), mode_(mode), cb_(std::move(cb)) {
+    uint32_t workers = inflight < 1 ? 1 : inflight;
+    if (workers > 8) workers = 8;
+    workers_.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~PwriteLogWriter() override {
+    {
+      MutexLock l(mu_);
+      stop_ = true;
+    }
+    cv_.NotifyAll();
+    for (auto& w : workers_) w.join();
+    ::close(fd_);
+  }
+
+  void Submit(uint64_t seq, uint64_t offset, std::string data) override {
+    {
+      MutexLock l(mu_);
+      queue_.push_back(Request{seq, offset, std::move(data)});
+      ++outstanding_;
+    }
+    cv_.NotifyOne();
+  }
+
+  void Drain() override {
+    MutexLock l(mu_);
+    while (outstanding_ != 0) cv_.Wait(mu_);
+  }
+
+  const char* backend_name() const override { return "portable"; }
+  WalSyncMode sync_mode() const override { return mode_; }
+
+ private:
+  struct Request {
+    uint64_t seq;
+    uint64_t offset;
+    std::string data;
+  };
+
+  void WorkerLoop() {
+    TryElevateLogThreadPriority();
+    mu_.Lock();
+    for (;;) {
+      while (queue_.empty() && !stop_) cv_.Wait(mu_);
+      if (queue_.empty() && stop_) break;
+      Request req = std::move(queue_.front());
+      queue_.pop_front();
+      mu_.Unlock();
+      PreallocateAhead(fd_, req.offset + req.data.size(), &allocated_);
+      // Write+sync span: the device's share of commit latency.
+      static obs::TimerStat* const io_timer =
+          obs::MetricRegistry::Get().Timer("wal.segment_io_ns");
+      const uint64_t io_start = NowNanos();
+      Status s = PwriteAll(fd_, req.data.data(), req.data.size(), req.offset);
+      if (s.ok()) s = SyncFd(fd_, mode_);
+      if (obs::MetricRegistry::timers_enabled()) {
+        io_timer->Record(NowNanos() - io_start);
+      }
+      // No locks held across the callback (the contract the WAL's
+      // completion path relies on).
+      cb_(req.seq, s);
+      mu_.Lock();
+      --outstanding_;
+      cv_.NotifyAll();  // wake Drain() and idle workers alike
+    }
+    mu_.Unlock();
+  }
+
+  const int fd_;
+  const WalSyncMode mode_;
+  const CompletionFn cb_;
+  std::atomic<uint64_t> allocated_{0};  // prealloc watermark (file offset)
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Request> queue_ OIR_GUARDED_BY(mu_);
+  // Requests submitted but whose callback has not returned yet.
+  uint64_t outstanding_ OIR_GUARDED_BY(mu_) = 0;
+  bool stop_ OIR_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+#if OIR_HAVE_IO_URING
+
+// ---------------------------------------------------------------------------
+// io_uring backend (raw syscalls): linked WRITE→FSYNC SQE pairs, one reaper.
+// ---------------------------------------------------------------------------
+
+int UringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int UringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+// The SQ/CQ ring words are shared with the kernel; plain loads/stores would
+// be racy. These match liburing's smp_load_acquire/smp_store_release.
+inline uint32_t LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+inline void StoreRelease(unsigned* p, uint32_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+class UringLogWriter : public AsyncLogWriter {
+ public:
+  // Probes io_uring_setup; returns non-OK (and constructs nothing) when the
+  // kernel or the sandbox does not offer it.
+  static Status TryCreate(const std::string& path, WalSyncMode mode,
+                          uint32_t inflight, CompletionFn cb,
+                          std::unique_ptr<AsyncLogWriter>* out) {
+    int file_fd = -1;
+    OIR_RETURN_IF_ERROR(OpenWriterFd(path, &mode, &file_fd));
+
+    // Two SQEs per request plus the shutdown NOP, rounded to a power of two.
+    unsigned entries = 8;
+    while (entries < 2 * inflight + 2) entries *= 2;
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    int ring_fd = UringSetup(entries, &p);
+    if (ring_fd < 0) {
+      ::close(file_fd);
+      return Status::IOError(std::string("io_uring_setup: ") +
+                             std::strerror(errno));
+    }
+
+    size_t sq_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    size_t cq_sz = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    if (p.features & IORING_FEAT_SINGLE_MMAP) {
+      if (cq_sz > sq_sz) sq_sz = cq_sz;
+      cq_sz = sq_sz;
+    }
+    void* sq_ptr = ::mmap(nullptr, sq_sz, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, ring_fd,
+                          IORING_OFF_SQ_RING);
+    if (sq_ptr == MAP_FAILED) {
+      ::close(ring_fd);
+      ::close(file_fd);
+      return Status::IOError("io_uring sq mmap failed");
+    }
+    void* cq_ptr = sq_ptr;
+    if (!(p.features & IORING_FEAT_SINGLE_MMAP)) {
+      cq_ptr = ::mmap(nullptr, cq_sz, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+      if (cq_ptr == MAP_FAILED) {
+        ::munmap(sq_ptr, sq_sz);
+        ::close(ring_fd);
+        ::close(file_fd);
+        return Status::IOError("io_uring cq mmap failed");
+      }
+    }
+    size_t sqes_sz = p.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqes = ::mmap(nullptr, sqes_sz, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) {
+      if (cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_sz);
+      ::munmap(sq_ptr, sq_sz);
+      ::close(ring_fd);
+      ::close(file_fd);
+      return Status::IOError("io_uring sqes mmap failed");
+    }
+
+    auto w = std::unique_ptr<UringLogWriter>(new UringLogWriter(
+        file_fd, ring_fd, mode, std::move(cb)));
+    w->sq_mem_ = sq_ptr;
+    w->sq_mem_sz_ = sq_sz;
+    w->cq_mem_ = cq_ptr;
+    w->cq_mem_sz_ = cq_sz;
+    w->sqes_ = static_cast<struct io_uring_sqe*>(sqes);
+    w->sqes_sz_ = sqes_sz;
+    auto* sq = static_cast<char*>(sq_ptr);
+    w->sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    w->sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    w->sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    w->sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<char*>(cq_ptr);
+    w->cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    w->cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    w->cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    w->cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + p.cq_off.cqes);
+    w->reaper_ = std::thread([raw = w.get()] { raw->ReaperLoop(); });
+    *out = std::move(w);
+    return Status::OK();
+  }
+
+  ~UringLogWriter() override {
+    {
+      MutexLock l(mu_);
+      stop_ = true;
+      PushSqeLocked(IORING_OP_NOP, 0, nullptr, 0, /*link=*/false,
+                    kShutdownTag);
+      (void)UringEnter(ring_fd_, 1, 0, 0);
+    }
+    reaper_.join();
+    ::munmap(sqes_, sqes_sz_);
+    if (cq_mem_ != sq_mem_) ::munmap(cq_mem_, cq_mem_sz_);
+    ::munmap(sq_mem_, sq_mem_sz_);
+    ::close(ring_fd_);
+    ::close(file_fd_);
+  }
+
+  void Submit(uint64_t seq, uint64_t offset, std::string data) override {
+    // Allocation-only syscall, amortized to once per 64 MiB of log — not
+    // data I/O, so it keeps Submit()'s never-blocks-on-the-device contract.
+    PreallocateAhead(file_fd_, offset + data.size(), &allocated_);
+    Status fail;
+    {
+      MutexLock l(mu_);
+      Pending& pend = pending_[seq];
+      const char* buf;
+      size_t len = data.size();
+      pend.len = len;
+      pend.submit_ns = NowNanos();
+      if (mode_ == WalSyncMode::kODirect) {
+        // O_DIRECT needs an aligned source buffer; one memcpy per segment
+        // is noise next to the device write.
+        void* aligned = nullptr;
+        OIR_CHECK(posix_memalign(&aligned, kWalSectorSize, len) == 0);
+        std::memcpy(aligned, data.data(), len);
+        pend.aligned.reset(static_cast<char*>(aligned));
+        buf = pend.aligned.get();
+      } else {
+        pend.data = std::move(data);
+        buf = pend.data.data();
+      }
+      ++outstanding_;
+      PushSqeLocked(IORING_OP_WRITE, offset, buf, len, /*link=*/true,
+                    seq << 1);
+      PushSqeLocked(IORING_OP_FSYNC, 0, nullptr, 0, /*link=*/false,
+                    (seq << 1) | 1);
+      int rc = UringEnter(ring_fd_, 2, 0, 0);
+      if (rc < 0) {
+        // Submission itself failed (should not happen once setup
+        // succeeded); the reaper will never see the request, so complete it
+        // here — with the lock released, per the class contract.
+        pending_.erase(seq);
+        fail = Status::IOError(std::string("io_uring_enter: ") +
+                               std::strerror(errno));
+      }
+    }
+    if (!fail.ok()) {
+      cb_(seq, fail);
+      MutexLock l(mu_);
+      --outstanding_;
+      cv_.NotifyAll();
+    }
+  }
+
+  void Drain() override {
+    MutexLock l(mu_);
+    while (outstanding_ != 0) cv_.Wait(mu_);
+  }
+
+  const char* backend_name() const override { return "uring"; }
+  WalSyncMode sync_mode() const override { return mode_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(char* p) const { std::free(p); }
+  };
+  struct Pending {
+    std::string data;
+    std::unique_ptr<char, FreeDeleter> aligned;
+    size_t len = 0;
+    uint64_t submit_ns = 0;
+    Status write_error;
+  };
+
+  static constexpr uint64_t kShutdownTag = ~0ull;
+
+  UringLogWriter(int file_fd, int ring_fd, WalSyncMode mode, CompletionFn cb)
+      : file_fd_(file_fd), ring_fd_(ring_fd), mode_(mode),
+        cb_(std::move(cb)) {}
+
+  void PushSqeLocked(uint8_t opcode, uint64_t offset, const char* buf,
+                     size_t len, bool link, uint64_t user_data)
+      OIR_REQUIRES(mu_) {
+    unsigned tail = *sq_tail_;  // only we write the tail; plain read is fine
+    unsigned idx = tail & sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = opcode;
+    sqe->fd = file_fd_;
+    sqe->off = offset;
+    sqe->addr = reinterpret_cast<uint64_t>(buf);
+    sqe->len = static_cast<uint32_t>(len);
+    if (opcode == IORING_OP_FSYNC && mode_ != WalSyncMode::kFsync) {
+      sqe->fsync_flags = IORING_FSYNC_DATASYNC;
+    }
+    if (link) sqe->flags |= IOSQE_IO_LINK;
+    sqe->user_data = user_data;
+    sq_array_[idx] = idx;
+    StoreRelease(sq_tail_, tail + 1);
+  }
+
+  void ReaperLoop() {
+    TryElevateLogThreadPriority();
+    std::vector<std::pair<uint64_t, Status>> done;
+    for (;;) {
+      int rc = UringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (rc < 0 && errno != EINTR && errno != EBUSY) {
+        // Catastrophic ring failure: fail everything outstanding.
+        FailAllPending(Status::IOError("io_uring wait failed"));
+        return;
+      }
+      bool shutdown = false;
+      done.clear();
+      {
+        MutexLock l(mu_);
+        unsigned head = *cq_head_;  // only we write the head
+        unsigned tail = LoadAcquire(cq_tail_);
+        while (head != tail) {
+          const struct io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+          uint64_t ud = cqe->user_data;
+          int res = cqe->res;
+          ++head;
+          if (ud == kShutdownTag) {
+            shutdown = true;
+            continue;
+          }
+          uint64_t seq = ud >> 1;
+          auto it = pending_.find(seq);
+          if (it == pending_.end()) continue;
+          if ((ud & 1) == 0) {
+            // Write completion. A short or failed write poisons the request;
+            // the linked fsync comes back -ECANCELED and reports it.
+            if (res < 0) {
+              it->second.write_error = Status::IOError(
+                  std::string("wal uring write: ") + std::strerror(-res));
+            } else if (static_cast<size_t>(res) != it->second.len) {
+              it->second.write_error =
+                  Status::IOError("wal uring short write");
+            }
+          } else {
+            // Fsync completion: the request is finished.
+            Status s = it->second.write_error;
+            if (s.ok() && res < 0 && res != -ECANCELED) {
+              s = Status::IOError(std::string("wal uring fsync: ") +
+                                  std::strerror(-res));
+            } else if (s.ok() && res == -ECANCELED) {
+              s = Status::IOError("wal uring fsync canceled");
+            }
+            if (it->second.submit_ns != 0 &&
+                obs::MetricRegistry::timers_enabled()) {
+              // Submit→durable span: the device's share of commit latency.
+              static obs::TimerStat* const io_timer =
+                  obs::MetricRegistry::Get().Timer("wal.segment_io_ns");
+              io_timer->Record(NowNanos() - it->second.submit_ns);
+            }
+            done.emplace_back(seq, s);
+            pending_.erase(it);
+          }
+        }
+        StoreRelease(cq_head_, head);
+      }
+      for (auto& [seq, s] : done) {
+        cb_(seq, s);  // no locks held
+        MutexLock l(mu_);
+        --outstanding_;
+        cv_.NotifyAll();
+      }
+      if (shutdown) return;
+    }
+  }
+
+  void FailAllPending(const Status& why) {
+    std::vector<uint64_t> seqs;
+    {
+      MutexLock l(mu_);
+      for (auto& [seq, pend] : pending_) seqs.push_back(seq);
+      pending_.clear();
+    }
+    for (uint64_t seq : seqs) {
+      cb_(seq, why);
+      MutexLock l(mu_);
+      --outstanding_;
+      cv_.NotifyAll();
+    }
+  }
+
+  const int file_fd_;
+  const int ring_fd_;
+  const WalSyncMode mode_;
+  std::atomic<uint64_t> allocated_{0};  // prealloc watermark (file offset)
+  const CompletionFn cb_;
+
+  void* sq_mem_ = nullptr;
+  size_t sq_mem_sz_ = 0;
+  void* cq_mem_ = nullptr;
+  size_t cq_mem_sz_ = 0;
+  struct io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_sz_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+
+  Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<uint64_t, Pending> pending_ OIR_GUARDED_BY(mu_);
+  uint64_t outstanding_ OIR_GUARDED_BY(mu_) = 0;
+  bool stop_ OIR_GUARDED_BY(mu_) = false;
+  std::thread reaper_;
+};
+
+#endif  // OIR_HAVE_IO_URING
+
+bool UringSuppressed() {
+#if defined(__SANITIZE_THREAD__)
+  return true;  // TSan cannot see kernel writes into the mapped CQ ring
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+Status AsyncLogWriter::Create(const std::string& path, WalBackend backend,
+                              WalSyncMode mode, uint32_t inflight,
+                              CompletionFn cb,
+                              std::unique_ptr<AsyncLogWriter>* out) {
+  if (inflight < 1) inflight = 1;
+#if OIR_HAVE_IO_URING
+  if ((backend == WalBackend::kAuto || backend == WalBackend::kUring) &&
+      !UringSuppressed()) {
+    Status s = UringLogWriter::TryCreate(path, mode, inflight, cb, out);
+    if (s.ok()) return s;
+    // Kernel/sandbox said no: fall through to the portable pool.
+  }
+#else
+  (void)backend;
+#endif
+  int fd = -1;
+  OIR_RETURN_IF_ERROR(OpenWriterFd(path, &mode, &fd));
+  *out = std::make_unique<PwriteLogWriter>(fd, mode, inflight, std::move(cb));
+  return Status::OK();
+}
+
+}  // namespace oir

@@ -1,0 +1,138 @@
+#ifndef OIR_STORAGE_ASYNC_IO_H_
+#define OIR_STORAGE_ASYNC_IO_H_
+
+// Asynchronous durable-append backends for the WAL's pipelined segment
+// writer (log_manager.h). A backend owns its own file descriptor on the log
+// file and turns each Submit() into "write these bytes at this offset, then
+// force them to stable storage", reporting completion through a callback.
+// Two implementations:
+//
+//   PwriteLogWriter  portable POSIX path: a small pool of worker threads,
+//                    each request is a pwrite loop + fdatasync/fsync. N
+//                    workers give N genuinely concurrent force operations,
+//                    so consecutive log segments overlap their syncs.
+//
+//   UringLogWriter   io_uring via raw syscalls (no liburing dependency):
+//                    each request is a linked SQE pair, IORING_OP_WRITE →
+//                    IORING_OP_FSYNC, reaped by one completion thread. The
+//                    kernel orders the fsync after the write through the
+//                    link, so a request is complete exactly when its bytes
+//                    are stable.
+//
+// Create() probes at runtime: io_uring_setup may be unavailable (old
+// kernel, seccomp) and O_DIRECT may be refused by the filesystem; both fall
+// back — uring→portable, O_DIRECT→buffered fdatasync — so the caller always
+// gets a working writer and can query what it actually got.
+//
+// Contract shared by all implementations (log_manager.cc relies on it):
+//   * Submit() never performs I/O on the calling thread and never blocks on
+//     the device; it is safe to call with caller locks held.
+//   * The completion callback is invoked with NO internal locks held, so it
+//     may take caller locks (the WAL mutex).
+//   * Completions may arrive in any order; the caller sequences them.
+//   * Drain() returns once every submitted request has completed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace oir {
+
+// Which async backend to use for the durable log path.
+enum class WalBackend : uint8_t {
+  kAuto = 0,   // io_uring when the kernel offers it, else portable
+  kPortable,   // pwrite + fdatasync worker pool
+  kUring,      // io_uring (falls back to portable when unavailable)
+};
+
+// How a log segment is forced to stable storage.
+enum class WalSyncMode : uint8_t {
+  kFdatasync = 0,  // buffered write + fdatasync
+  kFsync,          // buffered write + fsync (also forces metadata)
+  kODirect,        // O_DIRECT sector-aligned write + fdatasync
+};
+
+const char* WalBackendName(WalBackend b);
+const char* WalSyncModeName(WalSyncMode m);
+bool ParseWalBackend(const std::string& s, WalBackend* out);
+bool ParseWalSyncMode(const std::string& s, WalSyncMode* out);
+
+// Best-effort scheduling boost for the durable-path threads (the WAL
+// sealer and the backend's I/O workers). They run short bursts between
+// blocking waits, but commit-ack latency rides on how fast they get the
+// CPU back once woken — on a loaded box, queueing behind a runnable OLTP
+// thread costs milliseconds. Tries SCHED_FIFO (needs privilege), then a
+// negative nice for just this thread; silently does nothing when neither
+// is permitted.
+void TryElevateLogThreadPriority();
+
+// RAII scheduling boost for a foreground thread about to block on the
+// durable path. A committer that sleeps in FlushTo wakes the instant its
+// bytes are stable — but on a loaded box it then queues behind whatever
+// OLTP threads are runnable, and that queueing (not the device) dominates
+// commit-ack p99. Elevating to SCHED_FIFO for just the wait makes the
+// wake-up preempt immediately; the boosted section only sleeps and then
+// runs a microsecond epilogue, so it cannot starve anything. Restores the
+// previous policy on destruction; after the first failed probe (no
+// privilege) every subsequent construction is a cheap no-op.
+class ScopedCommitPriorityBoost {
+ public:
+  ScopedCommitPriorityBoost();
+  ~ScopedCommitPriorityBoost();
+
+  ScopedCommitPriorityBoost(const ScopedCommitPriorityBoost&) = delete;
+  ScopedCommitPriorityBoost& operator=(const ScopedCommitPriorityBoost&) =
+      delete;
+
+ private:
+  bool boosted_ = false;
+  int old_policy_ = 0;
+  int old_priority_ = 0;
+};
+
+// Device sector size assumed for O_DIRECT alignment.
+constexpr uint32_t kWalSectorSize = 512;
+
+class AsyncLogWriter {
+ public:
+  // Invoked once per Submit(), on a backend thread, with no internal locks
+  // held. `seq` is the caller's token; `s` is OK iff the bytes are stable.
+  using CompletionFn = std::function<void(uint64_t seq, Status s)>;
+
+  virtual ~AsyncLogWriter() = default;
+
+  AsyncLogWriter(const AsyncLogWriter&) = delete;
+  AsyncLogWriter& operator=(const AsyncLogWriter&) = delete;
+
+  // Queues a durable append of `data` at file offset `offset`. For the
+  // O_DIRECT mode the caller must pass a sector-aligned offset and a
+  // sector-multiple length (log_manager materializes the padding). The
+  // caller bounds the number of outstanding requests; backends size their
+  // queues for `inflight` and are not required to accept more.
+  virtual void Submit(uint64_t seq, uint64_t offset, std::string data) = 0;
+
+  // Blocks until every request submitted so far has completed (its
+  // callback has returned). New submissions during a drain extend it.
+  virtual void Drain() = 0;
+
+  // What the probe actually selected (for stats and bench labels).
+  virtual const char* backend_name() const = 0;
+  virtual WalSyncMode sync_mode() const = 0;
+
+  // Opens its own descriptor on `path` and builds the requested backend,
+  // falling back as described above. `inflight` is the maximum number of
+  // requests the caller keeps outstanding (>= 1).
+  static Status Create(const std::string& path, WalBackend backend,
+                       WalSyncMode mode, uint32_t inflight, CompletionFn cb,
+                       std::unique_ptr<AsyncLogWriter>* out);
+
+ protected:
+  AsyncLogWriter() = default;
+};
+
+}  // namespace oir
+
+#endif  // OIR_STORAGE_ASYNC_IO_H_

@@ -70,6 +70,7 @@ BufferManager::BufferManager(Disk* disk, size_t pool_frames, size_t shards)
 }
 
 BufferManager::~BufferManager() {
+  StopWriteBack();
 #ifndef NDEBUG
   for (Shard& sh : shards_) {
     MutexLock l(sh.mu);
@@ -107,22 +108,39 @@ Status BufferManager::AllocateFrameLocked(Shard& sh, PageId for_page,
       *out_frame = idx;
       return Status::OK();
     }
-    // Clock scan over this shard's frames for an evictable one.
+    // Clock scan over this shard's frames for an evictable one. Clean
+    // victims are preferred — evicting one needs no I/O and never drops the
+    // shard mutex — and dirty frames scanned past are handed to the
+    // background write-back worker so the next scan finds them clean. The
+    // dirty fallback (inline write-back) remains for pools where every
+    // evictable frame is dirty.
     size_t scanned = 0;
     size_t victim = SIZE_MAX;
+    size_t dirty_victim = SIZE_MAX;
+    int enqueued = 0;
+    const bool async_wb = wb_running();
     while (scanned < 2 * sh.count) {
       size_t idx = sh.start + sh.clock_hand;
       Frame& f = frames_[idx];
       sh.clock_hand = (sh.clock_hand + 1) % sh.count;
       ++scanned;
       if (f.pin_count != 0 || f.loading) continue;
+      const bool dirty = f.dirty.load(std::memory_order_acquire);
+      if (dirty && async_wb && enqueued < 4) {
+        EnqueueWriteBack(f.page_id);
+        ++enqueued;
+      }
       if (f.ref) {
         f.ref = false;
         continue;
       }
-      victim = idx;
-      break;
+      if (!dirty) {
+        victim = idx;
+        break;
+      }
+      if (dirty_victim == SIZE_MAX) dirty_victim = idx;
     }
+    if (victim == SIZE_MAX) victim = dirty_victim;
     if (victim == SIZE_MAX) {
       return Status::NoSpace("buffer pool exhausted: all frames pinned");
     }
@@ -290,7 +308,7 @@ Status BufferManager::FlushPage(PageId id) {
     }
     size_t frame = it->second;
     Frame& f = frames_[frame];
-    if (f.loading) {
+    if (f.loading || f.flushing) {
       WaitOn(sh);
       continue;  // frame may have been remapped while we waited
     }
@@ -299,12 +317,14 @@ Status BufferManager::FlushPage(PageId id) {
       return Status::OK();
     }
     ++f.pin_count;  // keep the frame stable during write-back
+    f.flushing = true;
     sh.mu.Unlock();
     Status s = WriteBack(frame);
     sh.mu.Lock();
     if (!s.ok()) f.dirty.store(true, std::memory_order_release);
+    f.flushing = false;
     --f.pin_count;
-    if (f.pin_count == 0) NotifyAll(sh);
+    NotifyAll(sh);  // wake pin- and flushing-claim waiters
     sh.mu.Unlock();
     return s;
   }
@@ -320,10 +340,120 @@ Status BufferManager::FlushAll() {
       }
     }
   }
+  if (ids.empty()) return Status::OK();
+  if (wb_running()) {
+    // Route the dirty set through the write-back worker as one batch and
+    // wait on its barrier: checkpoints share the queue (and the dedup)
+    // with eviction-triggered cleaning instead of competing with it.
+    WbBatch batch;
+    {
+      MutexLock l(wb_mu_);
+      if (!wb_stop_) {
+        batch.remaining = ids.size();
+        for (PageId id : ids) {
+          wb_queue_.push_back(WbItem{id, &batch});
+        }
+        GlobalCounters::Get().pool_wb_enqueued.fetch_add(
+            ids.size(), std::memory_order_relaxed);
+        wb_cv_.NotifyAll();
+        while (batch.remaining != 0) {
+          wb_done_cv_.Wait(wb_mu_);
+        }
+        return batch.status;
+      }
+    }
+  }
   for (PageId id : ids) {
     OIR_RETURN_IF_ERROR(FlushPage(id));
   }
   return Status::OK();
+}
+
+void BufferManager::StartWriteBack() {
+  if (wb_thread_.joinable()) return;
+  {
+    MutexLock l(wb_mu_);
+    wb_stop_ = false;
+  }
+  wb_thread_ = std::thread([this] { WriteBackLoop(); });
+}
+
+void BufferManager::StopWriteBack() {
+  if (!wb_thread_.joinable()) return;
+  {
+    MutexLock l(wb_mu_);
+    wb_stop_ = true;
+  }
+  wb_cv_.NotifyAll();
+  wb_thread_.join();
+}
+
+void BufferManager::EnqueueWriteBack(PageId id) {
+  MutexLock l(wb_mu_);
+  if (wb_stop_) return;
+  if (!wb_queued_ids_.insert(id).second) return;  // already queued
+  OIR_CRASH_POINT("pool.wb.enqueue");
+  wb_queue_.push_back(WbItem{id, nullptr});
+  GlobalCounters::Get().pool_wb_enqueued.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  wb_cv_.NotifyOne();
+}
+
+void BufferManager::CancelWriteBack() {
+  if (!wb_thread_.joinable()) return;
+  MutexLock l(wb_mu_);
+  while (!wb_queue_.empty()) {
+    WbItem item = wb_queue_.front();
+    wb_queue_.pop_front();
+    if (item.batch != nullptr) {
+      if (item.batch->status.ok()) {
+        item.batch->status = Status::Busy("write-back canceled");
+      }
+      if (--item.batch->remaining == 0) wb_done_cv_.NotifyAll();
+    } else {
+      wb_queued_ids_.erase(item.id);
+    }
+  }
+  while (wb_in_progress_ != 0) {
+    wb_done_cv_.Wait(wb_mu_);
+  }
+}
+
+void BufferManager::WriteBackLoop() {
+  auto& c = GlobalCounters::Get();
+  for (;;) {
+    WbItem item;
+    {
+      MutexLock l(wb_mu_);
+      while (wb_queue_.empty() && !wb_stop_) {
+        wb_cv_.Wait(wb_mu_);
+      }
+      // Drain the queue before honoring stop: pending eviction write-backs
+      // finish while the log flusher is still alive.
+      if (wb_queue_.empty()) return;
+      item = wb_queue_.front();
+      wb_queue_.pop_front();
+      if (item.batch == nullptr) wb_queued_ids_.erase(item.id);
+      ++wb_in_progress_;
+    }
+    OIR_CRASH_POINT("pool.wb.write");
+    // FlushPage claims the dirty bit under the shard mutex, pins the frame,
+    // and honors WAL-before-data; a page evicted or cleaned since it was
+    // queued is a cheap no-op.
+    Status s = FlushPage(item.id);
+    if (s.ok()) {
+      c.pool_wb_async_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      MutexLock l(wb_mu_);
+      --wb_in_progress_;
+      if (item.batch != nullptr) {
+        if (!s.ok() && item.batch->status.ok()) item.batch->status = s;
+        if (--item.batch->remaining == 0) wb_done_cv_.NotifyAll();
+      }
+      if (wb_in_progress_ == 0) wb_done_cv_.NotifyAll();
+    }
+  }
 }
 
 Status BufferManager::FlushPages(const std::vector<PageId>& ids,
@@ -339,10 +469,33 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
                                            page_size_]);
   size_t i = 0;
   while (i < sorted.size()) {
-    // Build a physically contiguous run of up to io_pages dirty pages.
+    // Build a physically contiguous run of up to io_pages dirty pages. Each
+    // page's flushing claim (and pin) is held from its snapshot until the
+    // run's WriteMulti lands: the WAL flush below can block for a group-
+    // commit round, and another flusher writing a newer image inside that
+    // window would make our parked snapshot regress the disk image once it
+    // finally lands — silently losing the in-between updates if a
+    // checkpoint bounded the redo scan in the meantime. Claims are taken in
+    // ascending page order, so concurrent FlushPages calls cannot deadlock.
     uint32_t run_len = 0;
     Lsn max_lsn = kInvalidLsn;
     PageId run_start = sorted[i];
+    std::vector<std::pair<size_t, PageId>> claimed;  // (frame, page)
+    auto release_run = [&](bool wrote) {
+      for (const auto& [fidx, pid] : claimed) {
+        Shard& csh = ShardOf(pid);
+        MutexLock l(csh.mu);
+        if (!wrote) {
+          // The claimed content never reached disk: restore the dirty bit
+          // so a later flush retries it.
+          frames_[fidx].dirty.store(true, std::memory_order_release);
+        }
+        frames_[fidx].flushing = false;
+        --frames_[fidx].pin_count;
+        NotifyAll(csh);
+      }
+      claimed.clear();
+    };
     while (i < sorted.size() && run_len < io_pages &&
            sorted[i] == run_start + run_len) {
       PageId id = sorted[i];
@@ -352,7 +505,7 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
       for (;;) {
         auto it = sh.table.find(id);
         if (it == sh.table.end()) break;
-        if (frames_[it->second].loading) {
+        if (frames_[it->second].loading || frames_[it->second].flushing) {
           WaitOn(sh);
           continue;  // re-find: frame may have been remapped
         }
@@ -371,7 +524,8 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
         break;
       }
       Frame& fr = frames_[frame];
-      ++fr.pin_count;
+      ++fr.pin_count;  // held with the claim until the run is written
+      fr.flushing = true;
       fr.dirty.store(false, std::memory_order_relaxed);  // claimed below
       sh.mu.Unlock();
       fr.latch.LockS();
@@ -382,22 +536,25 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
                          static_cast<size_t>(run_len) * page_size_)
                     ->page_lsn;
       max_lsn = std::max(max_lsn, lsn);
-      sh.mu.Lock();
-      --fr.pin_count;
-      if (fr.pin_count == 0) NotifyAll(sh);
-      sh.mu.Unlock();
+      claimed.emplace_back(frame, id);
       ++run_len;
       ++i;
     }
     if (run_len == 0) continue;
     OIR_CRASH_POINT("pool.flushpages.run");
     if (log_flusher_ != nullptr && max_lsn != kInvalidLsn) {
-      OIR_RETURN_IF_ERROR(log_flusher_->FlushTo(max_lsn));
+      Status s = log_flusher_->FlushTo(max_lsn);
+      if (!s.ok()) {
+        release_run(/*wrote=*/false);
+        return s;
+      }
     }
     OIR_CRASH_POINT("pool.flushpages.wal_flushed");
     GlobalCounters::Get().pool_writebacks.fetch_add(
         run_len, std::memory_order_relaxed);
-    OIR_RETURN_IF_ERROR(disk_->WriteMulti(run_start, run_len, run_buf.get()));
+    Status s = disk_->WriteMulti(run_start, run_len, run_buf.get());
+    release_run(/*wrote=*/s.ok());
+    if (!s.ok()) return s;
   }
   return Status::OK();
 }
@@ -507,6 +664,9 @@ void BufferManager::Discard(PageId id) {
 }
 
 void BufferManager::DropAll() {
+  // Queued write-backs must not run against the post-crash pool (and an
+  // in-progress one holds a pin, which the loop below forbids).
+  CancelWriteBack();
   for (Shard& sh : shards_) {
     MutexLock l(sh.mu);
     for (auto& [id, frame] : sh.table) {

@@ -28,7 +28,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/disk.h"
@@ -155,8 +157,21 @@ class BufferManager {
   // page must be unpinned.
   void Discard(PageId id);
 
+  // Background write-back: a dedicated worker cleans dirty frames off the
+  // foreground path. Evictions prefer clean victims and hand dirty frames
+  // they scan past to the worker (so the next eviction finds them clean),
+  // and FlushAll routes its dirty set through the worker as one batch with
+  // a completion barrier. The WAL-before-data constraint is preserved: the
+  // worker flushes the log to the page's LSN before writing, exactly like
+  // the inline path. Start after SetLogFlusher; Stop drains the queue and
+  // joins (callers must stop the worker before the log flusher dies).
+  void StartWriteBack();
+  void StopWriteBack();
+
   // Crash simulation: discards every frame without writing anything. All
-  // pages must be unpinned.
+  // pages must be unpinned. Cancels queued background write-backs and waits
+  // out any in-progress one first (its write may still reach the disk — a
+  // real crash races the same way; recovery handles it).
   void DropAll();
 
   // Test hook: number of distinct pages currently cached.
@@ -170,6 +185,14 @@ class BufferManager {
     uint32_t pin_count = 0;         // guarded by the shard mutex
     std::atomic<bool> dirty{false}; // lock-free: set by MarkDirty
     bool loading = false;           // I/O in progress; guarded by shard mutex
+    // A flusher holds a parked snapshot of this page (guarded by the shard
+    // mutex; always held together with a pin). At most one flusher may be
+    // between snapshot and disk write per page: the snapshot→write span
+    // blocks on a WAL flush, and a second flusher slipping a newer image
+    // onto disk inside that span would let the first WRITE REGRESS the
+    // disk image — fatal after a checkpoint has bounded the redo scan on
+    // the newer image being durable.
+    bool flushing = false;
     bool ref = false;               // clock reference bit
     Latch latch;
     std::unique_ptr<char[]> data;
@@ -226,6 +249,27 @@ class BufferManager {
   // from reuse (pinned or loading).
   Status WriteBack(size_t frame);
 
+  // ---- background write-back ----
+  // A FlushAll barrier: one batch per call, completed when every page of
+  // the batch has been processed (or the batch was canceled).
+  struct WbBatch {
+    size_t remaining OIR_GUARDED_BY(wb_mu_) = 0;
+    Status status OIR_GUARDED_BY(wb_mu_);
+  };
+  struct WbItem {
+    PageId id = kInvalidPageId;
+    WbBatch* batch = nullptr;  // null for eviction-triggered items
+  };
+  void WriteBackLoop();
+  // Dedup'd enqueue for the eviction path; no-op when the worker is off.
+  // Takes wb_mu_ internally — safe with a shard mutex held (the worker
+  // never holds wb_mu_ while taking a shard mutex).
+  void EnqueueWriteBack(PageId id);
+  // Drops queued items and waits for the in-flight one; leaves the worker
+  // running. Canceled batch waiters see Busy.
+  void CancelWriteBack();
+  bool wb_running() const { return wb_thread_.joinable(); }
+
   Disk* const disk_;
   const uint32_t page_size_;
   LogFlusher* log_flusher_ = nullptr;
@@ -233,6 +277,17 @@ class BufferManager {
   std::deque<Frame> frames_;
   std::deque<Shard> shards_;
   uint32_t shard_mask_ = 0;  // num shards - 1 (power of two)
+
+  mutable Mutex wb_mu_;
+  CondVar wb_cv_;       // wakes the worker
+  CondVar wb_done_cv_;  // wakes batch waiters and CancelWriteBack
+  std::deque<WbItem> wb_queue_ OIR_GUARDED_BY(wb_mu_);
+  // Ids with a pending eviction-triggered item (batch items may duplicate).
+  std::unordered_set<PageId> wb_queued_ids_ OIR_GUARDED_BY(wb_mu_);
+  size_t wb_in_progress_ OIR_GUARDED_BY(wb_mu_) = 0;
+  bool wb_stop_ OIR_GUARDED_BY(wb_mu_) = false;
+  // Started/joined from the owner's single-threaded setup/teardown.
+  std::thread wb_thread_;
 };
 
 }  // namespace oir

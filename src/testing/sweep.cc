@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <map>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -37,6 +38,11 @@ struct WorkloadRun {
   std::unique_ptr<Db> db;
   FaultInjectingDisk* fdisk = nullptr;
   std::set<uint64_t> committed;  // exact committed key set (rid == id)
+  // Last disposition of every key the writer ever touched ("committed-
+  // insert", "zombie-delete", ...), for the oracle's failure diagnostics:
+  // an extra key whose history says "committed-delete" is a lost redo,
+  // while "zombie-insert" is a missed undo. Writer-thread only.
+  std::map<uint64_t, const char*> history;
   std::vector<std::unique_ptr<Transaction>> zombies;
 };
 
@@ -87,9 +93,13 @@ void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
     if (!failed && db->Commit(txn.get()).ok()) {
       for (uint64_t i = 0; i < opts.preload_keys; ++i) {
         run->committed.insert(i);
+        run->history[i] = "committed-insert(preload)";
       }
     } else {
       run->zombies.push_back(std::move(txn));
+      for (uint64_t i = 0; i < opts.preload_keys; ++i) {
+        run->history[i] = "zombie-insert(preload)";
+      }
     }
   }
 
@@ -145,14 +155,22 @@ void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
         }
       }
 
+      auto note = [&](const char* ins_disp, const char* del_disp) {
+        for (uint64_t id : ins) run->history[id] = ins_disp;
+        for (uint64_t id : del) run->history[id] = del_disp;
+      };
       if (!st.ok()) {
         if (reg.triggered()) {
+          note("zombie-insert(op-failed)", "zombie-delete(op-failed)");
           writer_zombies.push_back(std::move(txn));
           break;
         }
         // Lock-timeout victim (or similar): roll back and move on.
         if (!db->Abort(txn.get()).ok()) {
+          note("zombie-insert(abort-failed)", "zombie-delete(abort-failed)");
           writer_zombies.push_back(std::move(txn));
+        } else {
+          note("aborted-insert", "aborted-delete");
         }
         continue;
       }
@@ -160,17 +178,27 @@ void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
       if (rng.OneIn(8)) {
         // Deliberate abort: exercises rollback racing the rebuild.
         if (!db->Abort(txn.get()).ok()) {
+          note("zombie-insert(abort-failed)", "zombie-delete(abort-failed)");
           writer_zombies.push_back(std::move(txn));
+        } else {
+          note("aborted-insert", "aborted-delete");
         }
         continue;
       }
 
       if (db->Commit(txn.get()).ok()) {
-        for (uint64_t id : ins) run->committed.insert(id);
-        for (uint64_t id : del) run->committed.erase(id);
+        for (uint64_t id : ins) {
+          run->committed.insert(id);
+          run->history[id] = "committed-insert";
+        }
+        for (uint64_t id : del) {
+          run->committed.erase(id);
+          run->history[id] = "committed-delete";
+        }
       } else {
         // A failed commit is ambiguous (record appended, flush failed):
         // only recovery may decide it. Abandon.
+        note("zombie-insert(commit-failed)", "zombie-delete(commit-failed)");
         writer_zombies.push_back(std::move(txn));
         if (reg.triggered()) break;
       }
@@ -268,7 +296,12 @@ Status RunCrashIteration(const SweepWorkloadOptions& opts,
   result->triggered = reg.triggered();
   reg.Disarm();
 
-  // Power back on; reboot.
+  // Power back on; reboot. The crash line is drawn BEFORE the fail-flush
+  // flag clears: SimulateCrash drains the async log pipeline while the
+  // flag is still set, so a physically in-flight segment completing in
+  // this window cannot advance durability past the power cut (its commits
+  // were never acked and must not be resurrected by recovery).
+  log->SimulateCrash();
   fdisk->Restore();
   log->SetFailFlushes(false);
   Status s = run.db->CrashAndRecover(&result->recovery);
@@ -287,41 +320,46 @@ Status RunCrashIteration(const SweepWorkloadOptions& opts,
   }
 
   // Oracle 2: the recovered tree holds exactly the committed operations.
+  // On mismatch the full symmetric difference is reported, each key
+  // annotated with its workload disposition — an extra key last seen as
+  // "committed-delete" is a lost redo; one last seen as "zombie-insert" is
+  // a missed undo.
   {
     auto txn = db->BeginTxn();
     auto cur = db->index()->NewCursor(txn.get());
+    std::set<uint64_t> scanned;
+    bool malformed = false;
     s = cur->SeekToFirst();
-    auto expect = run.committed.begin();
-    uint64_t row = 0;
     while (s.ok() && cur->Valid()) {
-      if (expect == run.committed.end()) {
-        return Fail(opts, point, hit,
-                    "scan row " + std::to_string(row) + " key '" +
-                        cur->user_key().ToString() +
-                        "' beyond the committed model (" +
-                        std::to_string(run.committed.size()) + " keys)");
-      }
-      if (cur->user_key().ToString() != SweepKey(*expect) ||
-          cur->rid() != *expect) {
-        return Fail(opts, point, hit,
-                    "scan row " + std::to_string(row) + ": got key '" +
-                        cur->user_key().ToString() + "' rid " +
-                        std::to_string(cur->rid()) + ", model expects '" +
-                        SweepKey(*expect) + "'");
-      }
-      ++expect;
-      ++row;
+      uint64_t rid = cur->rid();
+      if (cur->user_key().ToString() != SweepKey(rid)) malformed = true;
+      scanned.insert(rid);
       s = cur->Next();
     }
     if (!s.ok()) {
       return Fail(opts, point, hit, "post-recovery scan: " + s.ToString());
     }
-    if (expect != run.committed.end()) {
-      return Fail(opts, point, hit,
-                  "committed key '" + SweepKey(*expect) +
-                      "' missing after recovery (scan returned " +
-                      std::to_string(row) + " of " +
-                      std::to_string(run.committed.size()) + " keys)");
+    if (malformed || scanned != run.committed) {
+      auto disposition = [&run](uint64_t id) -> std::string {
+        auto it = run.history.find(id);
+        return it == run.history.end() ? "never-touched" : it->second;
+      };
+      std::ostringstream why;
+      why << "recovered tree != committed model (" << scanned.size()
+          << " scanned vs " << run.committed.size() << " committed)";
+      if (malformed) why << "; key/rid mismatch seen";
+      int listed = 0;
+      for (uint64_t id : scanned) {
+        if (run.committed.count(id)) continue;
+        why << "; extra " << id << " [" << disposition(id) << "]";
+        if (++listed >= 8) break;
+      }
+      for (uint64_t id : run.committed) {
+        if (scanned.count(id)) continue;
+        why << "; missing " << id << " [" << disposition(id) << "]";
+        if (++listed >= 16) break;
+      }
+      return Fail(opts, point, hit, why.str());
     }
     cur.reset();
     s = db->Commit(txn.get());

@@ -40,7 +40,14 @@ namespace oir {
   V(pool_writebacks)          \
   V(pool_prefetched)          \
   V(log_flush_calls)          \
-  V(log_fsyncs)
+  V(log_fsyncs)               \
+  V(log_commits_acked)        \
+  V(log_groups_acked)         \
+  V(wal_segments_sealed)      \
+  V(wal_segments_completed)   \
+  V(wal_inflight_bytes)       \
+  V(pool_wb_enqueued)         \
+  V(pool_wb_async_writes)
 
 struct CounterSnapshot {
 #define OIR_COUNTER_DECL(name) uint64_t name = 0;

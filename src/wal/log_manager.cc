@@ -3,8 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,7 +20,22 @@
 
 namespace oir {
 
-LogManager::LogManager() : durable_lsn_(kHeaderSize) {
+namespace {
+
+WalOptions SanitizeWalOptions(WalOptions w) {
+  if (w.segment_bytes < 4096) w.segment_bytes = 4096;
+  if (w.inflight_segments < 1) w.inflight_segments = 1;
+  if (w.group_window_us > 5000) w.group_window_us = 5000;
+  return w;
+}
+
+}  // namespace
+
+LogManager::LogManager(const WalOptions& wal)
+    : wal_opts_(SanitizeWalOptions(wal)),
+      durable_lsn_(kHeaderSize),
+      submitted_lsn_(kHeaderSize),
+      durable_adv_seq_(1) {
   buf_.assign("OIRLOG01\0\0\0\0\0\0\0\0", kHeaderSize);
 }
 
@@ -28,6 +47,13 @@ LogManager::~LogManager() {
   flush_cv_.NotifyAll();
   flushed_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
+  // Let any submitted-but-incomplete segment finish before closing the fd;
+  // completions still run OnSegmentComplete, which is safe (the object is
+  // alive and the sealer is gone).
+  if (writer_) {
+    writer_->Drain();
+    writer_.reset();
+  }
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -38,7 +64,11 @@ void LogManager::SetGroupCommit(bool on) {
   // toggles) so a purely synchronous log never spawns one — and so Open's
   // single-threaded recovery path runs before any concurrent access.
   if (on && !flusher_.joinable()) {
-    flusher_ = std::thread([this] { FlusherLoop(); });
+    if (wal_opts_.pipeline) {
+      flusher_ = std::thread([this] { PipelineLoop(); });
+    } else {
+      flusher_ = std::thread([this] { FlusherLoop(); });
+    }
   }
 }
 
@@ -47,12 +77,33 @@ bool LogManager::group_commit() const {
   return group_commit_;
 }
 
+const char* LogManager::backend_name() const {
+  if (writer_) return writer_->backend_name();
+  return fd_ >= 0 ? "sync" : "mem";
+}
+
+const char* LogManager::sync_mode_name() const {
+  if (writer_) return WalSyncModeName(writer_->sync_mode());
+  return WalSyncModeName(WalSyncMode::kFdatasync);
+}
+
 // File layout: a 24-byte header [magic:8]["trim_base":8][reserved:8]
 // followed by the log bytes from trim_base on. The in-memory buffer always
 // mirrors the retained log, so reads never touch the file.
 Status LogManager::Open(const std::string& path, bool truncate,
-                        std::unique_ptr<LogManager>* out) {
-  auto log = std::unique_ptr<LogManager>(new LogManager());
+                        std::unique_ptr<LogManager>* out,
+                        const WalOptions& wal) {
+  WalOptions opts = SanitizeWalOptions(wal);
+  // Environment overrides so CI can force the portable fallback (and devs
+  // can A/B backends) without a rebuild.
+  if (const char* e = std::getenv("OIR_WAL_BACKEND"); e != nullptr && *e) {
+    ParseWalBackend(e, &opts.backend);
+  }
+  if (const char* e = std::getenv("OIR_WAL_SYNC"); e != nullptr && *e) {
+    ParseWalSyncMode(e, &opts.sync_mode);
+  }
+
+  auto log = std::unique_ptr<LogManager>(new LogManager(opts));
   int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
   int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
@@ -86,6 +137,7 @@ Status LogManager::Open(const std::string& path, bool truncate,
       // For an untrimmed log the body includes the in-memory header padding.
       log->buf_ = std::move(body);
       log->trim_base_ = trim_base;
+      log->file_header_ = header;
     }
     // A crash mid-write can leave a torn record at the tail; truncate the
     // log at the end of the valid prefix so future appends extend a clean
@@ -107,7 +159,18 @@ Status LogManager::Open(const std::string& path, bool truncate,
       MutexLock l(log->mu_);
       log->buf_.resize(valid_end - trim_base);
       log->durable_lsn_ = valid_end;
+      log->submitted_lsn_ = valid_end;
       log->file_synced_ = valid_end;
+      // Drop the torn bytes from the file too: a later partial overwrite
+      // must not splice them into a seemingly valid chain, and O_DIRECT
+      // segment padding assumes nothing live beyond the logical tail.
+      const off_t valid_size =
+          static_cast<off_t>(log->FileOffsetLocked(valid_end));
+      if (size > valid_size) {
+        if (::ftruncate(fd, valid_size) != 0) {
+          return Status::IOError("log truncate failed");
+        }
+      }
     }
   } else {
     // Fresh file: write the header for an untrimmed log.
@@ -119,6 +182,7 @@ Status LogManager::Open(const std::string& path, bool truncate,
       return Status::IOError("log header write failed");
     }
     MutexLock l(log->mu_);
+    log->file_header_ = header;
     log->file_synced_ = kHeaderSize;
     OIR_RETURN_IF_ERROR(log->PersistLocked());
   }
@@ -140,6 +204,25 @@ Status LogManager::Open(const std::string& path, bool truncate,
   }
   if (mfd >= 0) ::close(mfd);
   if (truncate) ::unlink(mpath.c_str());
+
+  // Async backend for the pipelined durable path. Create() probes io_uring
+  // and O_DIRECT and falls back internally; if even the portable writer
+  // cannot open the file, fall back to the legacy blocking flusher.
+  if (log->wal_opts_.pipeline) {
+    LogManager* raw = log.get();
+    std::unique_ptr<AsyncLogWriter> w;
+    Status ws = AsyncLogWriter::Create(
+        path, opts.backend, opts.sync_mode, opts.inflight_segments,
+        [raw](uint64_t seq, Status s) {
+          raw->OnSegmentComplete(seq, std::move(s));
+        },
+        &w);
+    if (ws.ok()) {
+      log->writer_ = std::move(w);
+    } else {
+      log->wal_opts_.pipeline = false;
+    }
+  }
 
   // File-backed logs default to group commit: there is a real fsync whose
   // cost is worth amortizing across concurrent committers.
@@ -212,6 +295,11 @@ Lsn LogManager::AppendEncoded(LogRecord* rec, const std::string& payload) {
   c.log_records.fetch_add(1, std::memory_order_relaxed);
   c.log_bytes.fetch_add(sizeof(frame) + payload.size(),
                         std::memory_order_relaxed);
+  // Hold mu_ at elevated priority: an appender preempted mid-hold blocks
+  // the (real-time) sealer and completion threads behind a starved CFS
+  // thread — a priority inversion whose cost is a whole scheduling epoch.
+  std::optional<ScopedCommitPriorityBoost> boost;
+  if (wal_opts_.pipeline && writer_ != nullptr) boost.emplace();
   MutexLock l(mu_);
   const Lsn lsn = trim_base_ + buf_.size();
   rec->lsn = lsn;
@@ -253,6 +341,17 @@ Lsn LogManager::AppendSystem(LogRecord* rec) {
   return AppendEncoded(rec, payload);
 }
 
+void LogManager::AckLocked() {
+  auto& c = GlobalCounters::Get();
+  c.log_commits_acked.fetch_add(1, std::memory_order_relaxed);
+  // All acks issued under one durable-advance seq rode the same flush:
+  // count the group once, on its first ack.
+  if (last_group_seq_ != durable_adv_seq_) {
+    last_group_seq_ = durable_adv_seq_;
+    c.log_groups_acked.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 // Flushing "to" an LSN must make the record AT that lsn durable; the
 // boundary is advanced to the end of the log so one flush covers every
 // record appended so far.
@@ -260,7 +359,10 @@ Status LogManager::FlushToLocked(Lsn lsn) {
   GlobalCounters::Get().log_flush_calls.fetch_add(1,
                                                   std::memory_order_relaxed);
   OIR_CRASH_POINT("wal.flush.pre");
-  if (lsn < durable_lsn_) return Status::OK();
+  if (lsn < durable_lsn_) {
+    if (group_commit_) AckLocked();
+    return Status::OK();
+  }
   // Fault injection: the log device is gone — nothing new becomes durable.
   if (fail_flushes_.load(std::memory_order_relaxed)) {
     return Status::IOError("fault injection: log flush failed");
@@ -269,40 +371,66 @@ Status LogManager::FlushToLocked(Lsn lsn) {
     // Synchronous path: flush inline on the calling thread.
     OIR_CRASH_POINT("wal.flush.sync");
     durable_lsn_ = trim_base_ + buf_.size();
+    ++durable_adv_seq_;
     if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
       durable_master_ckpt_ = master_ckpt_;
     }
     return PersistLocked();
   }
-  // Group commit: publish the target, wake the flusher, and wait until a
-  // flush round covers our record (durable_lsn_ is advanced only after the
-  // round's write+fsync succeeded).
+  // Group commit: publish the target, wake the flusher/sealer, and wait
+  // until the durability boundary covers our record. Under the pipeline the
+  // wake-up comes from a segment *completion* (the sealer never blocks on
+  // the device); under the legacy flusher, from the end of a flush round.
   for (;;) {
-    if (lsn < durable_lsn_) return Status::OK();
+    if (lsn < durable_lsn_) {
+      AckLocked();
+      return Status::OK();
+    }
     if (fail_flushes_.load(std::memory_order_relaxed)) {
       return Status::IOError("fault injection: log flush failed");
     }
     OIR_CRASH_POINT("wal.flush.group_wait");
     const Lsn target = trim_base_ + buf_.size();
-    if (requested_lsn_ < target) requested_lsn_ = target;
-    flush_cv_.NotifyOne();
+    if (requested_lsn_ < target) {
+      // Wake the sealer only on an idle→demand transition: while demand
+      // is already pending the sealer is either working or deliberately
+      // holding the micro-batch window open, and a preempting notify per
+      // commit costs two context switches that buy nothing. The legacy
+      // flusher's "covered" boundary is durable_lsn_ (it has no submit
+      // stage).
+      const Lsn covered = wal_opts_.pipeline ? submitted_lsn_ : durable_lsn_;
+      const bool had_demand = requested_lsn_ > covered;
+      requested_lsn_ = target;
+      if (!had_demand) flush_cv_.NotifyOne();
+    }
     const uint64_t my_err = flush_err_seq_;
     while (
         !(lsn < durable_lsn_ || flush_err_seq_ != my_err || stop_flusher_)) {
       flushed_cv_.Wait(mu_);
     }
-    if (lsn < durable_lsn_) return Status::OK();
+    if (lsn < durable_lsn_) {
+      AckLocked();
+      return Status::OK();
+    }
     if (flush_err_seq_ != my_err) return last_flush_error_;
     if (stop_flusher_) return Status::IOError("log manager shutting down");
   }
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
+  // Pipelined file log: boost this thread for the duration of the wait so
+  // the durable-completion wake-up preempts runnable OLTP threads instead
+  // of queueing behind them (wal_opts_ and writer_ are fixed after Open, so
+  // reading them unlocked here is safe).
+  std::optional<ScopedCommitPriorityBoost> boost;
+  if (wal_opts_.pipeline && writer_ != nullptr) boost.emplace();
   MutexLock lk(mu_);
   return FlushToLocked(lsn);
 }
 
 Status LogManager::FlushAll() {
+  std::optional<ScopedCommitPriorityBoost> boost;
+  if (wal_opts_.pipeline && writer_ != nullptr) boost.emplace();
   MutexLock lk(mu_);
   const Lsn tail = trim_base_ + buf_.size();
   if (tail <= kHeaderSize) return Status::OK();
@@ -311,6 +439,7 @@ Status LogManager::FlushAll() {
 }
 
 void LogManager::FlusherLoop() {
+  TryElevateLogThreadPriority();
   MutexLock lk(mu_);
   while (!stop_flusher_) {
     if (requested_lsn_ <= durable_lsn_) {
@@ -341,6 +470,7 @@ void LogManager::FlusherLoop() {
     }
     if (s.ok()) {
       durable_lsn_ = target;
+      ++durable_adv_seq_;
       OIR_CRASH_POINT("wal.flusher.durable");
       OIR_TRACE(obs::TraceEventType::kGroupCommitFlush, target,
                 target - prev_durable);
@@ -359,6 +489,266 @@ void LogManager::FlusherLoop() {
   flushed_cv_.NotifyAll();
 }
 
+void LogManager::BuildSegmentLocked(Lsn begin, Lsn end, uint64_t* offset,
+                                    std::string* data) const {
+  const uint64_t raw_b = FileOffsetLocked(begin);
+  const uint64_t raw_e = FileOffsetLocked(end);
+  if (!writer_ || writer_->sync_mode() != WalSyncMode::kODirect) {
+    *offset = raw_b;
+    data->assign(buf_.data() + (begin - trim_base_), end - begin);
+    return;
+  }
+  // O_DIRECT: sector-align the range. Leading bytes are re-materialized
+  // from the file image (24-byte header mirror, then the buffer — file
+  // offset f holds buf_[f - 24 + trim_base_... i.e. buf_[f - 24] relative
+  // to the retained window]); the tail is zero-padded. A zero frame never
+  // parses (Unmask(0) != crc32c of an empty payload), so padding can never
+  // extend the valid prefix past the logical tail.
+  const uint64_t a = raw_b / kWalSectorSize * kWalSectorSize;
+  const uint64_t b =
+      (raw_e + kWalSectorSize - 1) / kWalSectorSize * kWalSectorSize;
+  *offset = a;
+  data->assign(b - a, '\0');
+  const uint64_t hdr_end = std::min<uint64_t>(raw_e, kFileHeaderSize);
+  for (uint64_t f = a; f < hdr_end; ++f) {
+    (*data)[f - a] = file_header_[f];
+  }
+  const uint64_t body_begin = std::max<uint64_t>(a, kFileHeaderSize);
+  if (body_begin < raw_e) {
+    std::memcpy(data->data() + (body_begin - a),
+                buf_.data() + (body_begin - kFileHeaderSize),
+                raw_e - body_begin);
+  }
+}
+
+void LogManager::OnSegmentComplete(uint64_t seq, Status s) {
+  MutexLock l(mu_);
+  for (auto& seg : inflight_) {
+    if (seg.seq == seq) {
+      seg.done = true;
+      seg.status = std::move(s);
+      break;
+    }
+  }
+  // A seq not found is a stale completion from before an error rewind
+  // cleared the queue; the retry re-covers its range.
+  CompleteSegmentsLocked();
+}
+
+void LogManager::CompleteSegmentsLocked() {
+  bool advanced = false;
+  bool failed = false;
+  auto& c = GlobalCounters::Get();
+  while (!inflight_.empty() && inflight_.front().done) {
+    Segment seg = inflight_.front();
+    inflight_.pop_front();
+    OIR_CRASH_POINT("wal.pipeline.complete");
+    c.wal_inflight_bytes.fetch_sub(seg.end - seg.begin,
+                                   std::memory_order_relaxed);
+    const bool power_cut = fail_flushes_.load(std::memory_order_relaxed);
+    if (seg.status.ok() && !power_cut) {
+      durable_lsn_ = seg.end;
+      if (file_synced_ < seg.end) file_synced_ = seg.end;
+      ++durable_adv_seq_;
+      c.log_fsyncs.fetch_add(1, std::memory_order_relaxed);
+      c.wal_segments_completed.fetch_add(1, std::memory_order_relaxed);
+      OIR_TRACE(obs::TraceEventType::kWalSegComplete, seg.end,
+                seg.end - seg.begin);
+      if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
+        durable_master_ckpt_ = master_ckpt_;
+      }
+      advanced = true;
+    } else {
+      // Once the fault-injection power cut is armed, no completion may
+      // advance durability — the bytes may be on the platter, but the ack
+      // never happened, so recovery must not see the commit.
+      failed = true;
+      last_flush_error_ = power_cut || seg.status.ok()
+                              ? Status::IOError(
+                                    "fault injection: log flush failed")
+                              : seg.status;
+      break;
+    }
+  }
+  if (failed) {
+    // A segment failed: even if later in-flight segments succeed
+    // physically, durability cannot advance past the hole. Drop all
+    // in-flight bookkeeping and rewind the submission boundary so the
+    // sealer re-covers [durable_lsn_, tail) on the next request. Stale
+    // completions for dropped segments miss the seq lookup and are
+    // ignored; re-submitted ranges rewrite identical bytes (the buffer is
+    // append-only between quiesces), so overlapping in-flight writes are
+    // harmless.
+    for (const Segment& seg : inflight_) {
+      c.wal_inflight_bytes.fetch_sub(seg.end - seg.begin,
+                                     std::memory_order_relaxed);
+    }
+    inflight_.clear();
+    submitted_lsn_ = durable_lsn_;
+    padded_end_off_ = 0;
+    ++flush_err_seq_;
+    requested_lsn_ = durable_lsn_;
+  }
+  if (advanced || failed) {
+    flushed_cv_.NotifyAll();
+    // Also wake the sealer: an in-flight slot freed up (or the rewind
+    // needs re-sealing).
+    flush_cv_.NotifyAll();
+  }
+}
+
+void LogManager::PipelineLoop() {
+  TryElevateLogThreadPriority();
+  MutexLock lk(mu_);
+  auto& c = GlobalCounters::Get();
+  while (!stop_flusher_) {
+    CompleteSegmentsLocked();
+    if (quiescing_) {
+      flush_cv_.Wait(mu_);
+      continue;
+    }
+    const Lsn tail = trim_base_ + buf_.size();
+    const bool demand = requested_lsn_ > submitted_lsn_;
+    const bool size_due =
+        writer_ != nullptr && tail - submitted_lsn_ >= wal_opts_.segment_bytes;
+    if (!demand && !size_due) {
+      if (writer_ != nullptr && tail > submitted_lsn_) {
+        // Unsubmitted bytes nobody is waiting for: give committers a
+        // moment to batch, then seal anyway so fire-and-forget appends
+        // reach the device in bounded time. (In-memory logs skip this:
+        // durability there is simulated, and advancing it without a flush
+        // request would change SimulateCrash semantics.)
+        flush_cv_.WaitFor(mu_, std::chrono::milliseconds(5));
+        if (stop_flusher_ || quiescing_) continue;
+        if (requested_lsn_ > submitted_lsn_ ||
+            trim_base_ + buf_.size() != tail) {
+          continue;  // demand or growth arrived; re-evaluate from the top
+        }
+        // Timed out with a stable idle tail: fall through and seal it.
+      } else {
+        flush_cv_.Wait(mu_);
+        continue;
+      }
+    }
+    if (inflight_.size() >= wal_opts_.inflight_segments) {
+      flush_cv_.Wait(mu_);  // a completion frees a slot and notifies
+      continue;
+    }
+    if (demand && !size_due && writer_ != nullptr &&
+        wal_opts_.group_window_us > 0) {
+      // Micro-batch window: commits arriving within it join this group,
+      // turning k device rounds into one for one window of added ack
+      // latency. Deadline-based — waiter notifications land on flush_cv_
+      // and must not cut the window short.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(wal_opts_.group_window_us);
+      while (!stop_flusher_ && !quiescing_ &&
+             !fail_flushes_.load(std::memory_order_relaxed) &&
+             trim_base_ + buf_.size() - submitted_lsn_ <
+                 wal_opts_.segment_bytes) {
+        if (flush_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stop_flusher_ || quiescing_) continue;
+    }
+    OIR_CRASH_POINT("wal.pipeline.seal");
+    if (fail_flushes_.load(std::memory_order_relaxed)) {
+      // The log device is gone. Publish one failed round for any waiter
+      // currently blocked, drop the request, and sleep — the flag is
+      // cleared before recovery resumes, and the next FlushTo re-raises
+      // the request.
+      if (requested_lsn_ > durable_lsn_) {
+        last_flush_error_ =
+            Status::IOError("fault injection: log flush failed");
+        ++flush_err_seq_;
+        requested_lsn_ = durable_lsn_;
+        flushed_cv_.NotifyAll();
+      }
+      flush_cv_.Wait(mu_);
+      continue;
+    }
+    const Lsn begin = submitted_lsn_;
+    const Lsn end = std::min(trim_base_ + buf_.size(),
+                             begin + wal_opts_.segment_bytes);
+    if (end <= begin) continue;
+    if (writer_ != nullptr &&
+        writer_->sync_mode() == WalSyncMode::kODirect && !inflight_.empty()) {
+      // O_DIRECT hazard: this segment's first sector is the previous
+      // segment's zero-padded last sector. Two in-flight writes to one
+      // sector can land in either order, so wait for the overlapping
+      // predecessor to complete before sealing. Sector-disjoint segments
+      // (the common case for the buffered modes) pipeline fully.
+      const uint64_t first_sector =
+          FileOffsetLocked(begin) / kWalSectorSize * kWalSectorSize;
+      if (first_sector < padded_end_off_) {
+        flush_cv_.Wait(mu_);
+        continue;
+      }
+    }
+    Segment seg;
+    seg.seq = next_seg_seq_++;
+    seg.begin = begin;
+    seg.end = end;
+    uint64_t offset = 0;
+    std::string data;
+    if (writer_ != nullptr) BuildSegmentLocked(begin, end, &offset, &data);
+    submitted_lsn_ = end;
+    inflight_.push_back(seg);
+    c.wal_segments_sealed.fetch_add(1, std::memory_order_relaxed);
+    c.wal_inflight_bytes.fetch_add(end - begin, std::memory_order_relaxed);
+    OIR_TRACE(obs::TraceEventType::kWalSegSeal, end, end - begin);
+    OIR_CRASH_POINT("wal.pipeline.submit");
+    if (writer_ != nullptr) {
+      padded_end_off_ = offset + data.size();
+      OIR_TRACE(obs::TraceEventType::kWalSegSubmit, end, data.size());
+      // Submit never blocks on the device and never invokes the completion
+      // callback on this thread, so holding mu_ here is safe — and keeps
+      // the seal→submit transition atomic with respect to quiesce.
+      writer_->Submit(seg.seq, offset, std::move(data));
+    } else {
+      // In-memory log: durability is simulated, so the segment completes
+      // inline — still exercising the full seal/submit/complete protocol
+      // (and its crash points) without a writer thread.
+      OIR_TRACE(obs::TraceEventType::kWalSegSubmit, end, end - begin);
+      inflight_.back().done = true;
+      inflight_.back().status = Status::OK();
+      CompleteSegmentsLocked();
+    }
+  }
+  flushed_cv_.NotifyAll();
+}
+
+void LogManager::QuiescePipeline() {
+  {
+    MutexLock l(mu_);
+    quiescing_ = true;
+    if (!wal_opts_.pipeline || !flusher_.joinable()) {
+      // No sealer running (legacy flusher or a log that never enabled
+      // group commit): nothing can be in flight.
+      return;
+    }
+  }
+  // The sealer holds mu_ from its quiescing_ check through Submit, so once
+  // the flag is set (we held mu_ above) no new segment can be submitted;
+  // Drain() then covers everything submitted before.
+  flush_cv_.NotifyAll();
+  if (writer_) writer_->Drain();
+  MutexLock l(mu_);
+  CompleteSegmentsLocked();
+  auto& c = GlobalCounters::Get();
+  for (const Segment& seg : inflight_) {
+    c.wal_inflight_bytes.fetch_sub(seg.end - seg.begin,
+                                   std::memory_order_relaxed);
+  }
+  inflight_.clear();
+  submitted_lsn_ = durable_lsn_;
+  padded_end_off_ = 0;
+  // quiescing_ stays set; the caller finishes its critical work (truncate,
+  // trim) and clears it.
+}
+
 void LogManager::SetMasterCheckpoint(Lsn lsn) {
   OIR_CRASH_POINT("wal.master.set");
   MutexLock l(mu_);
@@ -375,28 +765,38 @@ Lsn LogManager::master_checkpoint() const {
 
 void LogManager::DiscardPrefix(Lsn lsn) {
   OIR_CRASH_POINT("wal.discard_prefix");
-  MutexLock l(mu_);
-  if (lsn <= trim_base_ + kHeaderSize) return;
-  Lsn limit = trim_base_ + buf_.size();
-  if (lsn > limit) lsn = limit;
-  const size_t drop = lsn - trim_base_;
-  buf_.erase(0, drop);
-  trim_base_ = lsn;
-  if (fd_ >= 0) {
-    // Rewrite the file: new header with the trim base, then the retained
-    // bytes. Log truncation is rare (checkpoint-driven), so a full rewrite
-    // is acceptable.
-    std::string header("OIRLOGF1", 8);
-    PutFixed64(&header, trim_base_);
-    PutFixed64(&header, 0);
-    OIR_CHECK(::pwrite(fd_, header.data(), header.size(), 0) ==
-              static_cast<ssize_t>(header.size()));
-    OIR_CHECK(::pwrite(fd_, buf_.data(), buf_.size(), 24) ==
-              static_cast<ssize_t>(buf_.size()));
-    OIR_CHECK(::ftruncate(fd_, 24 + buf_.size()) == 0);
-    OIR_CHECK(::fdatasync(fd_) == 0);
-    file_synced_ = trim_base_ + buf_.size();
+  // Every LSN's file offset changes across a trim, so nothing may be in
+  // flight while the file is rewritten.
+  QuiescePipeline();
+  {
+    MutexLock l(mu_);
+    if (lsn > trim_base_ + kHeaderSize) {
+      Lsn limit = trim_base_ + buf_.size();
+      if (lsn > limit) lsn = limit;
+      const size_t drop = lsn - trim_base_;
+      buf_.erase(0, drop);
+      trim_base_ = lsn;
+      if (fd_ >= 0) {
+        // Rewrite the file: new header with the trim base, then the
+        // retained bytes. Log truncation is rare (checkpoint-driven), so a
+        // full rewrite is acceptable.
+        std::string header("OIRLOGF1", 8);
+        PutFixed64(&header, trim_base_);
+        PutFixed64(&header, 0);
+        OIR_CHECK(::pwrite(fd_, header.data(), header.size(), 0) ==
+                  static_cast<ssize_t>(header.size()));
+        OIR_CHECK(::pwrite(fd_, buf_.data(), buf_.size(), 24) ==
+                  static_cast<ssize_t>(buf_.size()));
+        OIR_CHECK(::ftruncate(fd_, 24 + buf_.size()) == 0);
+        OIR_CHECK(::fdatasync(fd_) == 0);
+        file_synced_ = trim_base_ + buf_.size();
+        file_header_ = header;
+      }
+      if (submitted_lsn_ < trim_base_) submitted_lsn_ = trim_base_;
+    }
+    quiescing_ = false;
   }
+  flush_cv_.NotifyAll();
 }
 
 Lsn LogManager::trim_lsn() const {
@@ -463,14 +863,33 @@ LogManager::Iterator LogManager::Scan(Lsn start, Lsn limit) const {
 }
 
 void LogManager::SimulateCrash() {
-  MutexLock l(mu_);
-  if (durable_lsn_ > trim_base_) {
-    buf_.resize(durable_lsn_ - trim_base_);
+  // Drain the pipeline first: a physically in-flight segment either
+  // completes before the "power-off" line below (advancing durability —
+  // legitimately, its fsync finished) or, when the fault-injection flag is
+  // set, completes without effect. Either way nothing can land after the
+  // truncate.
+  QuiescePipeline();
+  {
+    MutexLock l(mu_);
+    if (durable_lsn_ > trim_base_) {
+      buf_.resize(durable_lsn_ - trim_base_);
+    }
+    // No in-flight flush can complete past the crash point.
+    if (requested_lsn_ > durable_lsn_) requested_lsn_ = durable_lsn_;
+    // Only a checkpoint whose record was durable survives the crash.
+    master_ckpt_ = durable_master_ckpt_;
+    if (fd_ >= 0 && durable_lsn_ >= trim_base_) {
+      // Cut the file at the durability boundary: written-but-unacked
+      // segment bytes (including O_DIRECT sector padding) must not be
+      // resurrected by a reopen.
+      const off_t len = static_cast<off_t>(FileOffsetLocked(durable_lsn_));
+      OIR_CHECK(::ftruncate(fd_, len) == 0);
+      OIR_CHECK(::fdatasync(fd_) == 0);
+    }
+    if (file_synced_ > durable_lsn_) file_synced_ = durable_lsn_;
+    quiescing_ = false;
   }
-  // No in-flight flush can complete past the crash point.
-  if (requested_lsn_ > durable_lsn_) requested_lsn_ = durable_lsn_;
-  // Only a checkpoint whose record was durable survives the crash.
-  master_ckpt_ = durable_master_ckpt_;
+  flush_cv_.NotifyAll();
 }
 
 uint64_t LogManager::TotalBytesAppended() const {

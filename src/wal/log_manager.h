@@ -10,18 +10,34 @@
 // Record framing: [len:4][masked crc32c:4][payload]. A failed CRC or a
 // truncated frame marks the end of the recoverable log (torn tail).
 //
-// Group commit: with group commit enabled, FlushTo() callers enqueue their
-// target LSN and block on a condition variable while a dedicated flusher
-// thread performs one batched write+fsync that covers every waiter in the
-// group — committers pay one fsync per group, not one per transaction.
-// File-backed logs enable it by default; SetGroupCommit() toggles it (and
-// can force it for an in-memory log, where the "fsync" is a no-op, to
-// exercise the protocol in tests).
+// Durable path (group commit): FlushTo() callers enqueue their target LSN
+// and block on a condition variable; a dedicated thread makes the log
+// durable and wakes them. Two implementations share that protocol:
+//
+//   * Pipelined segment writer (default, WalOptions::pipeline) — the
+//     in-memory log tail is carved into bounded segments. The sealer
+//     thread copies [submitted_lsn, end) out of the buffer under the mutex
+//     (no I/O inside the critical section), hands the segment to an
+//     AsyncLogWriter (io_uring or a pwrite+fdatasync pool, async_io.h),
+//     and keeps sealing: up to `inflight_segments` segments overlap their
+//     writes and syncs. durable_lsn advances only when the *front* of the
+//     inflight queue completes, so it is always a contiguous stable
+//     prefix; waiters are woken on completion, not on submission.
+//   * Legacy blocking flusher (pipeline=false, kept for before/after
+//     benchmarking) — one batched write+fsync per round, performed while
+//     holding the log mutex.
+//
+// File-backed logs enable group commit by default; SetGroupCommit()
+// toggles it (and can force it for an in-memory log, where the pipeline
+// completes segments without physical I/O, to exercise the protocol — and
+// its crash points — in tests).
 
 #include <atomic>
+#include <deque>
 #include <string>
 #include <thread>
 
+#include "storage/async_io.h"
 #include "storage/buffer_manager.h"  // for LogFlusher
 #include "sync/mutex.h"
 #include "util/status.h"
@@ -43,10 +59,35 @@ struct TxnContext {
   Lsn begin_lsn = kInvalidLsn;
 };
 
+// Durable-path tuning. Fixed at construction/Open.
+struct WalOptions {
+  // Use the pipelined segment writer for group commit; false restores the
+  // legacy one-round-at-a-time blocking flusher (ablation/"before" bench).
+  bool pipeline = true;
+
+  // Maximum bytes per sealed segment. Smaller segments cut commit-ack
+  // latency; larger ones amortize the per-sync cost.
+  uint32_t segment_bytes = 256 * 1024;
+
+  // Maximum sealed-but-not-yet-durable segments in flight at the backend.
+  uint32_t inflight_segments = 4;
+
+  // Group-commit micro-batch window in microseconds (file-backed logs):
+  // once a commit demands a flush, the sealer holds the seal open this
+  // long so concurrently arriving commits join the same segment — k
+  // device rounds become one at the cost of one window of added ack
+  // latency. 0 seals immediately on demand.
+  uint32_t group_window_us = 100;
+
+  // I/O backend and force discipline for file-backed logs (async_io.h).
+  WalBackend backend = WalBackend::kAuto;
+  WalSyncMode sync_mode = WalSyncMode::kFdatasync;
+};
+
 class LogManager : public LogFlusher {
  public:
   // In-memory log (tests, benchmarks; crash simulation via SimulateCrash).
-  LogManager();
+  explicit LogManager(const WalOptions& wal = WalOptions());
   ~LogManager() override;
 
   LogManager(const LogManager&) = delete;
@@ -55,9 +96,11 @@ class LogManager : public LogFlusher {
   // File-backed log: records become durable in `path` when flushed, and a
   // sidecar `path.master` holds the master checkpoint pointer. Open reads
   // any existing content (surviving a real process restart); pass
-  // truncate=true to start fresh.
+  // truncate=true to start fresh. OIR_WAL_BACKEND / OIR_WAL_SYNC override
+  // wal.backend / wal.sync_mode (CI forces the portable fallback this way).
   static Status Open(const std::string& path, bool truncate,
-                     std::unique_ptr<LogManager>* out);
+                     std::unique_ptr<LogManager>* out,
+                     const WalOptions& wal = WalOptions());
 
   // Serializes `rec`, chaining it to ctx->last_lsn, and advances
   // ctx->last_lsn to the new record's LSN (also stored in rec->lsn).
@@ -67,8 +110,8 @@ class LogManager : public LogFlusher {
   Lsn AppendSystem(LogRecord* rec);
 
   // Durability. FlushTo returns once the record at `lsn` is durable; under
-  // group commit the calling thread may ride on a flush another committer
-  // triggered.
+  // group commit the calling thread rides on a segment completion (or, in
+  // legacy mode, on a flush another committer triggered).
   Status FlushTo(Lsn lsn) override;
   Status FlushAll();
   Lsn durable_lsn() const;
@@ -78,6 +121,13 @@ class LogManager : public LogFlusher {
   // pass true to force the grouped protocol there (tests, benchmarks).
   void SetGroupCommit(bool on);
   bool group_commit() const;
+
+  // Effective durable-path configuration (after runtime probes/fallbacks).
+  bool pipeline_enabled() const { return wal_opts_.pipeline; }
+  uint32_t segment_bytes() const { return wal_opts_.segment_bytes; }
+  uint32_t inflight_segments() const { return wal_opts_.inflight_segments; }
+  const char* backend_name() const;
+  const char* sync_mode_name() const;
 
   // LSN one past the last appended record (exclusive end of log).
   Lsn tail_lsn() const;
@@ -122,19 +172,26 @@ class LogManager : public LogFlusher {
   // Reclaims the log before `lsn` (exclusive): records below it become
   // unreadable and their memory is released. The caller must ensure no
   // checkpoint or active transaction needs them (see Db::Checkpoint).
+  // Quiesces the pipeline first: the file offsets of every LSN change.
   void DiscardPrefix(Lsn lsn);
 
   // First readable LSN (head of the retained log).
   Lsn trim_lsn() const;
 
   // Crash simulation: discard all records beyond the durability boundary.
+  // Drains in-flight segments first (their completions land before the
+  // "power-off" line or not at all — see SetFailFlushes), then truncates
+  // both the buffer and, for file-backed logs, the file, so a subsequent
+  // Open cannot resurrect post-crash bytes.
   void SimulateCrash();
 
   // Fault injection: while set, every flush that would need to advance the
   // durability boundary fails with IOError (records already durable still
-  // report success). Lock-free — crash-point handlers flip it from inside
-  // arbitrary component critical sections to model the log device dying at
-  // the instant of the crash. Cleared by the test harness before recovery.
+  // report success), and no in-flight segment completion may advance it
+  // either. Lock-free — crash-point handlers flip it from inside arbitrary
+  // component critical sections to model the log device dying at the
+  // instant of the crash. Cleared by the test harness before recovery
+  // (after SimulateCrash has drained the pipeline).
   void SetFailFlushes(bool on) {
     fail_flushes_.store(on, std::memory_order_relaxed);
   }
@@ -147,25 +204,58 @@ class LogManager : public LogFlusher {
 
  private:
   static constexpr Lsn kHeaderSize = 16;  // so that the first LSN != 0
+  static constexpr Lsn kFileHeaderSize = 24;
 
   // Appends a pre-encoded payload: takes mu_ only for the buffer append
   // (serialization and CRC are done by the caller, outside the lock).
   Lsn AppendEncoded(LogRecord* rec, const std::string& payload);
-  // Appends [file_synced_, tail) to the file and syncs it.
+  // Appends [file_synced_, tail) to the file and syncs it (legacy path).
   Status PersistLocked() OIR_REQUIRES(mu_);
   // Rewrites the sidecar master record.
   Status PersistMasterLocked() OIR_REQUIRES(mu_);
 
-  // Group-commit machinery. The flusher thread sleeps on flush_cv_ until a
-  // waiter raises requested_lsn_ past durable_lsn_, then persists the whole
-  // tail under mu_ and wakes every waiter via flushed_cv_. Errors are
-  // published through an epoch counter so only the waiters of the failed
-  // round (and later) see them.
-  void FlusherLoop();
+  // Shared waiter protocol (both flusher implementations). The dedicated
+  // thread sleeps on flush_cv_ until a waiter raises requested_lsn_ past
+  // the already-covered boundary, makes the log durable, and wakes every
+  // waiter via flushed_cv_. Errors are published through an epoch counter
+  // so only the waiters of the failed round (and later) see them.
+  void FlusherLoop();   // legacy: one blocking write+fsync round under mu_
+  void PipelineLoop();  // sealer: copy under mu_, I/O at the async backend
   Status FlushToLocked(Lsn lsn) OIR_REQUIRES(mu_);
+
+  // Pipeline internals.
+  struct Segment {
+    uint64_t seq = 0;
+    Lsn begin = 0;
+    Lsn end = 0;       // exclusive; durable_lsn_ advances here on success
+    bool done = false;
+    Status status;
+  };
+  // AsyncLogWriter completion callback (backend thread).
+  void OnSegmentComplete(uint64_t seq, Status s);
+  // Pops completed segments off the front of inflight_, advancing
+  // durable_lsn_ (unless fail_flushes_ is set) and publishing errors.
+  void CompleteSegmentsLocked() OIR_REQUIRES(mu_);
+  // Builds the (offset, bytes) submission for [begin, end); O_DIRECT mode
+  // sector-aligns the range, materializing leading bytes from the header/
+  // buffer and zero-padding the tail (zeros never parse as a valid frame).
+  void BuildSegmentLocked(Lsn begin, Lsn end, uint64_t* offset,
+                          std::string* data) const OIR_REQUIRES(mu_);
+  // Stops the sealer from submitting and waits until nothing is in flight
+  // (the backend drained and every completion was processed). Caller must
+  // not hold mu_.
+  void QuiescePipeline();
+  // Record an acked commit for the exact group-size accounting.
+  void AckLocked() OIR_REQUIRES(mu_);
+  // Bytes in the file for LSN x (file layout: 24-byte header + body).
+  Lsn FileOffsetLocked(Lsn lsn) const OIR_REQUIRES(mu_) {
+    return kFileHeaderSize + (lsn - trim_base_);
+  }
 
   int fd_ = -1;                  // file-backed mode when >= 0
   std::string path_;
+  WalOptions wal_opts_;          // effective after Open's probes
+  std::unique_ptr<AsyncLogWriter> writer_;  // file pipeline backend
 
   std::atomic<bool> fail_flushes_{false};
 
@@ -179,8 +269,8 @@ class LogManager : public LogFlusher {
   // Bumped on each failed flush round.
   uint64_t flush_err_seq_ OIR_GUARDED_BY(mu_) = 0;
   Status last_flush_error_ OIR_GUARDED_BY(mu_);
-  CondVar flush_cv_;    // wakes the flusher
-  CondVar flushed_cv_;  // wakes FlushTo waiters
+  CondVar flush_cv_;    // wakes the flusher/sealer
+  CondVar flushed_cv_;  // wakes FlushTo waiters and QuiescePipeline
   // Started lazily by SetGroupCommit, joined (unlocked) by the destructor
   // after stop_flusher_ is set — never touched concurrently, so unguarded.
   std::thread flusher_;
@@ -193,6 +283,24 @@ class LogManager : public LogFlusher {
   Lsn master_ckpt_ OIR_GUARDED_BY(mu_) = kInvalidLsn;
   // Value that survives a crash.
   Lsn durable_master_ckpt_ OIR_GUARDED_BY(mu_) = kInvalidLsn;
+
+  // ---- pipeline state ----
+  // Boundary up to which segments have been sealed (>= durable_lsn_).
+  Lsn submitted_lsn_ OIR_GUARDED_BY(mu_) = 0;
+  std::deque<Segment> inflight_ OIR_GUARDED_BY(mu_);
+  uint64_t next_seg_seq_ OIR_GUARDED_BY(mu_) = 1;
+  // Sealing suppressed while a quiesce (crash sim, trim, shutdown) runs.
+  bool quiescing_ OIR_GUARDED_BY(mu_) = false;
+  // File offset one past the last submitted segment's sector padding; an
+  // O_DIRECT seal whose first sector would overlap it must wait (two
+  // in-flight writes to one sector could land in either order).
+  uint64_t padded_end_off_ OIR_GUARDED_BY(mu_) = 0;
+  // Mirror of the 24-byte file header, for O_DIRECT leading-byte fill.
+  std::string file_header_ OIR_GUARDED_BY(mu_);
+  // Exact group-size accounting: durable_adv_seq_ bumps on every durable
+  // advance; commits acked under the same seq form one group.
+  uint64_t durable_adv_seq_ OIR_GUARDED_BY(mu_) = 0;
+  uint64_t last_group_seq_ OIR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace oir

@@ -113,7 +113,8 @@ TEST(CrashSweepTest, ReproducesSingleIterationFromEnvironment) {
 
   for (const char* name :
        {"txn.commit.pre_flush", "rebuild.copy.applied",
-        "btree.split.moved", "wal.flusher.round", "ckpt.pages_flushed"}) {
+        "btree.split.moved", "wal.pipeline.seal", "wal.pipeline.submit",
+        "wal.pipeline.complete", "ckpt.pages_flushed"}) {
     CrashIterationResult result;
     EXPECT_OK(fault::RunCrashIteration(opts, name, 0, &result));
   }

@@ -13,6 +13,12 @@ Enforced rules, each backed by a stronger mechanism where one exists:
                   compiler then flags every silently-discarded error).
   no-sleep        No sleep calls in src/ outside src/testing: production code
                   waits on condition variables, not timers.
+  sync-call       Direct Disk::Sync() calls may appear only inside
+                  src/storage, src/wal, and src/testing. Everywhere else a
+                  synchronous device barrier on the calling thread defeats
+                  the pipelined durable path — route durability through
+                  LogManager::FlushTo (WAL) or the BufferManager write-back
+                  worker (data pages) instead.
   crash-point     OIR_CRASH_POINT must be a whole, unconditional statement —
                   not folded into an if/else/loop header or hanging off an
                   unbraced conditional, where a refactor can silently skip the
@@ -38,6 +44,7 @@ RAW_SYNC = re.compile(
 SLEEP = re.compile(
     r"std::this_thread::sleep_(?:for|until)\b|\busleep\s*\(|\bnanosleep\s*\("
 )
+SYNC_CALL = re.compile(r"(?:->|\.)\s*Sync\s*\(\s*\)")
 COND_TAIL = re.compile(r"^\s*(?:if|else if|while|for)\s*\([^{]*\)\s*$|^\s*else\s*$")
 
 
@@ -83,6 +90,7 @@ def lint_file(path, src_root, findings):
     rel = path.relative_to(src_root.parent)
     in_sync = str(rel).startswith("src/sync/")
     in_testing = str(rel).startswith("src/testing/")
+    sync_ok = in_testing or str(rel).startswith(("src/storage/", "src/wal/"))
 
     for idx, line in enumerate(lines, 1):
         if not in_sync and RAW_SYNC.search(line):
@@ -94,6 +102,12 @@ def lint_file(path, src_root, findings):
             findings.append(
                 f"{rel}:{idx}: no-sleep: sleeping in production code; "
                 f"wait on a CondVar instead"
+            )
+        if not sync_ok and SYNC_CALL.search(line):
+            findings.append(
+                f"{rel}:{idx}: sync-call: direct Disk::Sync() outside the "
+                f"storage/WAL write-back internals; use LogManager::FlushTo "
+                f"or the write-back worker"
             )
         col = line.find("OIR_CRASH_POINT")
         if col >= 0 and "#define" not in line:
