@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against a checked-in baseline.
+
+The perf-sensitive benches (bench_concurrency, bench_durable_wal) write
+machine-readable results — BENCH_io_path.json and BENCH_durable_wal.json —
+whose committed copies at the repo root double as performance baselines.
+This script diffs a fresh run against a baseline scenario-by-scenario
+(matched on "name") and fails when throughput regresses by more than the
+threshold (default 15%, tuned to ride out scheduler noise on shared CI
+boxes while still catching a real regression in the I/O or commit path).
+
+Latency columns (p99 etc.) are reported for context but never gate: tail
+latencies on loaded runners are too noisy for a hard threshold.
+
+Usage:
+    python3 bench/bench_compare.py BENCH_io_path.json fresh.json
+    python3 bench/bench_compare.py --threshold 0.20 baseline.json fresh.json
+
+Exit status: 0 when every matched scenario holds, 1 on regression or on a
+scenario present in the baseline but missing from the fresh run (pass
+--allow-missing to tolerate renames / pruned scenarios).
+
+Stdlib only; wired into ctest behind the OIR_PERF_GUARD cmake option.
+"""
+
+import argparse
+import json
+import sys
+
+
+def scenario_list(doc):
+    """Bench docs carry their scenarios under 'scenarios' or 'rows'."""
+    for key in ("scenarios", "rows"):
+        if isinstance(doc.get(key), list):
+            return doc[key]
+    raise SystemExit("bench_compare: no 'scenarios' or 'rows' array in input")
+
+
+def by_name(doc):
+    out = {}
+    for s in scenario_list(doc):
+        name = s.get("name")
+        if name:
+            out[name] = s
+    return out
+
+
+def pick_latency_key(scenario):
+    for key in ("commit_p99_ms", "p99_ms"):
+        if key in scenario:
+            return key
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff a fresh bench JSON against a checked-in baseline"
+    )
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("fresh", help="freshly produced bench JSON")
+    ap.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="max tolerated ops/s drop as a fraction (default 0.15)",
+    )
+    ap.add_argument(
+        "--allow-missing", action="store_true",
+        help="do not fail when a baseline scenario is absent from the fresh run",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        base = by_name(json.load(f))
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = by_name(json.load(f))
+
+    failures = []
+    width = max((len(n) for n in base), default=8)
+    print(f"{'scenario':<{width}}  {'base ops/s':>12}  {'fresh ops/s':>12}  "
+          f"{'delta':>8}  note")
+    for name, b in base.items():
+        f = fresh.get(name)
+        if f is None:
+            note = "MISSING from fresh run"
+            if not args.allow_missing:
+                failures.append(f"{name}: {note}")
+                note += "  [FAIL]"
+            print(f"{name:<{width}}  {b.get('ops_per_sec', 0):>12}  "
+                  f"{'-':>12}  {'-':>8}  {note}")
+            continue
+        b_ops = b.get("ops_per_sec", 0)
+        f_ops = f.get("ops_per_sec", 0)
+        delta = (f_ops - b_ops) / b_ops if b_ops else 0.0
+        note = ""
+        lat = pick_latency_key(b)
+        if lat and lat in f:
+            note = f"{lat} {b[lat]:.2f} -> {f[lat]:.2f} ms"
+        if b_ops and delta < -args.threshold:
+            failures.append(
+                f"{name}: ops/s {b_ops} -> {f_ops} "
+                f"({100.0 * delta:+.1f}%, limit -{100.0 * args.threshold:.0f}%)"
+            )
+            note = (note + "  " if note else "") + "[FAIL]"
+        print(f"{name:<{width}}  {b_ops:>12}  {f_ops:>12}  "
+              f"{100.0 * delta:>+7.1f}%  {note}")
+
+    extra = sorted(set(fresh) - set(base))
+    if extra:
+        print(f"note: scenarios only in fresh run (not gated): {', '.join(extra)}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nbench_compare: OK ({len(base)} scenario(s) within "
+          f"{100.0 * args.threshold:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

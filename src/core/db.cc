@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <chrono>
+
 #include "core/index.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "obs/waitstate.h"
 #include "testing/crash_point.h"
 #include "util/counters.h"
 
@@ -17,6 +21,10 @@ namespace oir {
 Db::Db(const DbOptions& options) : options_(options) {}
 
 Db::~Db() {
+  // First: no flight-record provider or publisher tick may touch the
+  // components once teardown starts. StopObservability blocks out any
+  // in-flight dump before returning.
+  StopObservability();
   // The write-back worker calls into the log manager (WAL-before-data),
   // and log_ is destroyed before bm_ — stop the worker while both live.
   if (bm_ != nullptr) bm_->StopWriteBack();
@@ -118,6 +126,7 @@ Status Db::Open(const DbOptions& options, std::unique_ptr<Db>* out) {
   std::unique_ptr<Transaction> boot = db->txn_mgr_->Begin();
   OIR_RETURN_IF_ERROR(db->tree_->CreateNew(boot->ctx()));
   OIR_RETURN_IF_ERROR(db->txn_mgr_->Commit(boot.get()));
+  db->StartObservability();
   *out = std::move(db);
   return Status::OK();
 }
@@ -161,6 +170,7 @@ Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
   OIR_RETURN_IF_ERROR(rm.Finish(st));
   db->txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
   obs::MetricRegistry::Get().SetReport("recovery", st->ToJson());
+  db->StartObservability();
   *out = std::move(db);
   return Status::OK();
 }
@@ -358,6 +368,14 @@ std::string Db::DumpStatsJson() {
   }
   w.EndObject();
 
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, v] : r.metrics.gauges) {
+    w.Key(name).Value(v);
+  }
+  w.EndObject();
+
+  w.Key("wait_profile").RawValue(obs::WaitProfiler::ToJson());
+
   w.EndObject();
   return w.str();
 }
@@ -396,4 +414,83 @@ std::string Db::DumpStatsText() {
   return out;
 }
 
+Status Db::DumpFlightRecord(std::string* path) {
+  std::string p;
+  if (!obs::FlightRecorder::Get().DumpNow("explicit", &p)) {
+    return Status::IOError("could not write flight-record bundle");
+  }
+  if (path != nullptr) *path = p;
+  return Status::OK();
+}
+
+void Db::StartObservability() {
+  auto& fr = obs::FlightRecorder::Get();
+  fr_stats_token_ = fr.RegisterProvider("stats",
+                                        [this] { return DumpStatsJson(); });
+  fr_locks_token_ =
+      fr.RegisterProvider("locks", [this] { return locks_->DumpJson(); });
+  fr_txns_token_ = fr.RegisterProvider(
+      "active_txns", [this] { return txn_mgr_->DumpActiveTxnsJson(); });
+
+  std::string path = options_.stats_publish_path;
+  if (const char* e = std::getenv("OIR_STATS_PUBLISH");
+      e != nullptr && e[0] != '\0') {
+    path = e;
+  }
+  if (path.empty()) return;
+  uint32_t interval = options_.stats_publish_interval_ms;
+  if (const char* e = std::getenv("OIR_STATS_INTERVAL_MS");
+      e != nullptr && e[0] != '\0') {
+    interval = static_cast<uint32_t>(std::atoi(e));
+  }
+  if (interval == 0) interval = 500;
+  {
+    MutexLock l(pub_mu_);
+    pub_stop_ = false;
+  }
+  pub_thread_ = std::thread(
+      [this, path, interval] { StatsPublisherLoop(path, interval); });
+}
+
+void Db::StopObservability() {
+  if (pub_thread_.joinable()) {
+    {
+      MutexLock l(pub_mu_);
+      pub_stop_ = true;
+    }
+    pub_cv_.NotifyAll();
+    pub_thread_.join();
+  }
+  auto& fr = obs::FlightRecorder::Get();
+  if (fr_stats_token_ != 0) fr.UnregisterProvider("stats", fr_stats_token_);
+  if (fr_locks_token_ != 0) fr.UnregisterProvider("locks", fr_locks_token_);
+  if (fr_txns_token_ != 0) {
+    fr.UnregisterProvider("active_txns", fr_txns_token_);
+  }
+  fr_stats_token_ = fr_locks_token_ = fr_txns_token_ = 0;
+}
+
+void Db::StatsPublisherLoop(std::string path, uint32_t interval_ms) {
+  const std::string tmp = path + ".tmp";
+  for (;;) {
+    std::string body = DumpStatsJson();
+    obs::FlightRecorder::Get().NoteSnapshot(body);
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f != nullptr) {
+      size_t n = std::fwrite(body.data(), 1, body.size(), f);
+      if (n == body.size() && std::fclose(f) == 0) {
+        std::rename(tmp.c_str(), path.c_str());
+      } else {
+        std::remove(tmp.c_str());
+      }
+    }
+    MutexLock l(pub_mu_);
+    if (pub_stop_) return;
+    // wait-state: publisher tick, not an operation wait
+    pub_cv_.WaitFor(pub_mu_, std::chrono::milliseconds(interval_ms));
+    if (pub_stop_) return;
+  }
+}
+
 }  // namespace oir
+

@@ -7,11 +7,13 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "btree/btree.h"
 #include "core/options.h"
 #include "obs/metrics.h"
 #include "recovery/recovery.h"
+#include "sync/mutex.h"
 #include "txn/transaction_manager.h"
 
 namespace oir {
@@ -100,11 +102,18 @@ class Db {
   Status GetStats(StatsReport* out);
 
   // The same snapshot as one JSON document with "counters", "pool", "wal",
-  // "lock", "btree", "space", "rebuild", "recovery" and "timers" sections.
+  // "lock", "btree", "space", "rebuild", "recovery", "timers", "gauges"
+  // and "wait_profile" sections.
   std::string DumpStatsJson();
 
   // Human-readable rendering of the same snapshot.
   std::string DumpStatsText();
+
+  // Writes a flight-record bundle (stats, trace ring, wait profile, lock
+  // table, active transactions) right now. On success returns OK and
+  // stores the bundle path in *path (if non-null). Do not call from a
+  // context holding component mutexes.
+  Status DumpFlightRecord(std::string* path = nullptr);
 
   Index* index() { return index_.get(); }
   BTree* tree() { return tree_.get(); }
@@ -119,6 +128,15 @@ class Db {
  private:
   explicit Db(const DbOptions& options);
 
+  // Registers the flight-recorder providers (stats / lock table / active
+  // transactions) and starts the stats publisher if configured. Called at
+  // the end of Open/OpenExisting, once the full stack exists.
+  void StartObservability();
+  // Unregisters providers (blocking out any in-flight dump) and joins the
+  // publisher. Must run before any component is torn down.
+  void StopObservability();
+  void StatsPublisherLoop(std::string path, uint32_t interval_ms);
+
   DbOptions options_;
   // Set when OIR_TEST_WAL=file promoted an in-memory WAL to a temp file;
   // the destructor removes the file and its master sidecar.
@@ -131,6 +149,16 @@ class Db {
   std::unique_ptr<TransactionManager> txn_mgr_;
   std::unique_ptr<BTree> tree_;
   std::unique_ptr<Index> index_;
+
+  // Flight-recorder registration tokens (0 = not registered).
+  uint64_t fr_stats_token_ = 0;
+  uint64_t fr_locks_token_ = 0;
+  uint64_t fr_txns_token_ = 0;
+
+  Mutex pub_mu_;
+  CondVar pub_cv_;
+  bool pub_stop_ OIR_GUARDED_BY(pub_mu_) = false;
+  std::thread pub_thread_;
 };
 
 }  // namespace oir

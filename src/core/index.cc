@@ -1,6 +1,7 @@
 #include "core/index.h"
 
 #include "btree/cursor.h"
+#include "obs/waitstate.h"
 #include "util/logging.h"
 
 namespace oir {
@@ -34,6 +35,7 @@ class TableLockGuard {
 }  // namespace
 
 Status Index::Insert(Transaction* txn, const Slice& key, RowId rid) {
+  obs::OpScope op(obs::OpType::kWrite);
   TableLockGuard table(locks_, txn->id(), LogicalLockKey(kTableLockId),
                        LockMode::kS);
   if (!table.ok()) return Status::Aborted("table lock timeout");
@@ -43,6 +45,7 @@ Status Index::Insert(Transaction* txn, const Slice& key, RowId rid) {
 }
 
 Status Index::Delete(Transaction* txn, const Slice& key, RowId rid) {
+  obs::OpScope op(obs::OpType::kWrite);
   TableLockGuard table(locks_, txn->id(), LogicalLockKey(kTableLockId),
                        LockMode::kS);
   if (!table.ok()) return Status::Aborted("table lock timeout");
@@ -52,6 +55,7 @@ Status Index::Delete(Transaction* txn, const Slice& key, RowId rid) {
 
 Status Index::Lookup(Transaction* txn, const Slice& key, RowId rid,
                      bool* found) {
+  obs::OpScope op(obs::OpType::kRead);
   TableLockGuard table(locks_, txn->id(), LogicalLockKey(kTableLockId),
                        LockMode::kS);
   if (!table.ok()) return Status::Aborted("table lock timeout");

@@ -83,6 +83,16 @@ struct DbOptions {
   // Fault-injection tests install a FaultInjectingDisk decorator here; the
   // returned disk is what the buffer pool and space manager talk to.
   std::function<std::unique_ptr<Disk>(std::unique_ptr<Disk>)> wrap_disk;
+
+  // Live-stats publisher: when non-empty, a background thread writes
+  // DumpStatsJson() to this path (atomic temp+rename) every
+  // stats_publish_interval_ms, and feeds the flight recorder's
+  // recent-stats ring. `oir_top` polls the file. The OIR_STATS_PUBLISH
+  // and OIR_STATS_INTERVAL_MS environment variables override the path
+  // and cadence, so any existing binary can publish without a flag
+  // change.
+  std::string stats_publish_path;
+  uint32_t stats_publish_interval_ms = 500;
 };
 
 // Options of the online index rebuild (Section 3).

@@ -6,6 +6,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/waitstate.h"
 #include "testing/crash_point.h"
 #include "util/clock.h"
 #include "util/counters.h"
@@ -123,6 +124,21 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   progress_.Reset();
   progress_.Begin(space_->CountInState(PageState::kAllocated));
 
+  // Live-progress gauges for pollers (oir_top): registered only while the
+  // rebuild runs; the callbacks capture progress_, which outlives them.
+  auto& reg = obs::MetricRegistry::Get();
+  obs::RebuildProgressTracker* pr = &progress_;
+  reg.RegisterGauge("rebuild.active", [] { return uint64_t{1}; });
+  reg.RegisterGauge("rebuild.leaves_total", [pr] {
+    return pr->leaves_total.load(std::memory_order_relaxed);
+  });
+  reg.RegisterGauge("rebuild.leaves_rebuilt", [pr] {
+    return pr->leaves_rebuilt.load(std::memory_order_relaxed);
+  });
+  reg.RegisterGauge("rebuild.top_actions", [pr] {
+    return pr->top_actions.load(std::memory_order_relaxed);
+  });
+
   CounterSnapshot before = GlobalCounters::Get().Snapshot();
   uint64_t cpu0 = ThreadCpuNanos();
   uint64_t wall0 = NowNanos();
@@ -134,6 +150,10 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   result->log_records = delta.log_records;
   result->level1_visits = delta.level1_visits;
   result->io_ops = delta.io_ops;
+  reg.UnregisterGauge("rebuild.active");
+  reg.UnregisterGauge("rebuild.leaves_total");
+  reg.UnregisterGauge("rebuild.leaves_rebuilt");
+  reg.UnregisterGauge("rebuild.top_actions");
   progress_.Finish();
   if (options.on_progress) options.on_progress(progress_.Load());
   // The last completed rebuild is exported through the JSON stats path
@@ -174,7 +194,11 @@ Status OnlineRebuilder::Impl::Run() {
     while (pages_this_txn < opts.xactsize && !done) {
       size_t before = old_pages_txn.size();
       OIR_TRACE(obs::TraceEventType::kTopActionBegin, result->top_actions, 0);
-      s = TopAction(op, &path, &done);
+      {
+        // Each top action is one rebuild "operation" in the wait profile.
+        obs::OpScope rebuild_op(obs::OpType::kRebuild);
+        s = TopAction(op, &path, &done);
+      }
       const uint64_t delta = old_pages_txn.size() - before;
       OIR_TRACE(obs::TraceEventType::kTopActionEnd, result->top_actions,
                 delta);

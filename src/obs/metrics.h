@@ -125,14 +125,30 @@ class MetricRegistry {
 // RAII timer scope: records elapsed wall nanoseconds into `t` on
 // destruction. When timers are globally disabled the constructor is a
 // single relaxed load and the destructor a null check.
+//
+// Recording is idempotent: Stop() nulls the timer pointer, so a sample is
+// recorded exactly once no matter how the scope ends — explicit Stop(),
+// normal unwind, or an exception thrown through the scope (e.g. a test-only
+// crash point aborting the enclosing operation). Cancel() drops the sample,
+// for paths that decide the measured interval is meaningless (a timed
+// section that turned into a retry loop, an operation abandoned mid-way).
 class ScopedTimer {
  public:
   explicit ScopedTimer(TimerStat* t)
       : t_(MetricRegistry::timers_enabled() ? t : nullptr),
         start_(t_ != nullptr ? NowNanos() : 0) {}
-  ~ScopedTimer() {
-    if (t_ != nullptr) t_->Record(NowNanos() - start_);
+  ~ScopedTimer() { Stop(); }
+
+  // Records the sample now (once); later Stop()/destruction are no-ops.
+  void Stop() {
+    if (t_ != nullptr) {
+      t_->Record(NowNanos() - start_);
+      t_ = nullptr;
+    }
   }
+
+  // Discards the measurement; nothing is recorded for this scope.
+  void Cancel() { t_ = nullptr; }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;

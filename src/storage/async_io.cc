@@ -31,6 +31,7 @@
 #endif
 
 #include "obs/metrics.h"
+#include "obs/waitstate.h"
 #include "sync/mutex.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -232,6 +233,7 @@ class PwriteLogWriter : public AsyncLogWriter {
 
   void Drain() override {
     MutexLock l(mu_);
+    obs::WaitScope ws(obs::WaitState::kIoWait);
     while (outstanding_ != 0) cv_.Wait(mu_);
   }
 
@@ -249,6 +251,7 @@ class PwriteLogWriter : public AsyncLogWriter {
     TryElevateLogThreadPriority();
     mu_.Lock();
     for (;;) {
+      // wait-state: WAL segment writer idle
       while (queue_.empty() && !stop_) cv_.Wait(mu_);
       if (queue_.empty() && stop_) break;
       Request req = std::move(queue_.front());
@@ -459,6 +462,7 @@ class UringLogWriter : public AsyncLogWriter {
 
   void Drain() override {
     MutexLock l(mu_);
+    obs::WaitScope ws(obs::WaitState::kIoWait);
     while (outstanding_ != 0) cv_.Wait(mu_);
   }
 

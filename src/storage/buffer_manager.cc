@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/waitstate.h"
 #include "testing/crash_point.h"
 #include "util/counters.h"
 #include "util/logging.h"
@@ -199,7 +200,10 @@ Status BufferManager::WriteBack(size_t frame) {
   OIR_CRASH_POINT("pool.writeback.wal_flushed");
   GlobalCounters::Get().pool_writebacks.fetch_add(1,
                                                   std::memory_order_relaxed);
-  OIR_RETURN_IF_ERROR(disk_->WritePage(f.page_id, img.get()));
+  {
+    obs::WaitScope ws(obs::WaitState::kIoWait);
+    OIR_RETURN_IF_ERROR(disk_->WritePage(f.page_id, img.get()));
+  }
   OIR_CRASH_POINT("pool.writeback.post");
   return Status::OK();
 }
@@ -238,7 +242,11 @@ Status BufferManager::Fetch(PageId id, PageRef* out) {
     // Frame is mapped to `id`, pinned once, loading=true. Do the read
     // without the shard mutex.
     sh.mu.Unlock();
-    Status s = disk_->ReadPage(id, frames_[frame].data.get());
+    Status s;
+    {
+      obs::WaitScope ws(obs::WaitState::kIoWait);
+      s = disk_->ReadPage(id, frames_[frame].data.get());
+    }
     sh.mu.Lock();
     Frame& f = frames_[frame];
     f.loading = false;
@@ -356,6 +364,7 @@ Status BufferManager::FlushAll() {
         GlobalCounters::Get().pool_wb_enqueued.fetch_add(
             ids.size(), std::memory_order_relaxed);
         wb_cv_.NotifyAll();
+        obs::WaitScope ws(obs::WaitState::kIoWait);
         while (batch.remaining != 0) {
           wb_done_cv_.Wait(wb_mu_);
         }
@@ -414,6 +423,7 @@ void BufferManager::CancelWriteBack() {
       wb_queued_ids_.erase(item.id);
     }
   }
+  obs::WaitScope ws(obs::WaitState::kIoWait);
   while (wb_in_progress_ != 0) {
     wb_done_cv_.Wait(wb_mu_);
   }
@@ -426,7 +436,7 @@ void BufferManager::WriteBackLoop() {
     {
       MutexLock l(wb_mu_);
       while (wb_queue_.empty() && !wb_stop_) {
-        wb_cv_.Wait(wb_mu_);
+        wb_cv_.Wait(wb_mu_);  // wait-state: write-back worker idle
       }
       // Drain the queue before honoring stop: pending eviction write-backs
       // finish while the log flusher is still alive.
@@ -552,7 +562,11 @@ Status BufferManager::FlushPages(const std::vector<PageId>& ids,
     OIR_CRASH_POINT("pool.flushpages.wal_flushed");
     GlobalCounters::Get().pool_writebacks.fetch_add(
         run_len, std::memory_order_relaxed);
-    Status s = disk_->WriteMulti(run_start, run_len, run_buf.get());
+    Status s;
+    {
+      obs::WaitScope ws(obs::WaitState::kIoWait);
+      s = disk_->WriteMulti(run_start, run_len, run_buf.get());
+    }
     release_run(/*wrote=*/s.ok());
     if (!s.ok()) return s;
   }
@@ -623,7 +637,11 @@ Status BufferManager::Prefetch(PageId first, uint32_t count) {
   // into the staging buffer and simply not copied out), then distribute.
   std::unique_ptr<char[]> stage(
       new char[static_cast<size_t>(count) * page_size_]);
-  Status rs = disk_->ReadPages(first, count, stage.get());
+  Status rs;
+  {
+    obs::WaitScope ws(obs::WaitState::kIoWait);
+    rs = disk_->ReadPages(first, count, stage.get());
+  }
   if (!rs.ok()) return undo(rs);
   auto& c = GlobalCounters::Get();
   for (const Slot& s : slots) {

@@ -33,6 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/waitstate.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 #include "sync/latch.h"
@@ -227,6 +228,9 @@ class BufferManager {
 
   static void WaitOn(Shard& s) OIR_REQUIRES(s.mu) {
     ++s.cv_waiters;
+    // Shard CV waits are waits on another thread's I/O (frame loading, a
+    // flushing claim, pins draining ahead of reuse).
+    obs::WaitScope ws(obs::WaitState::kIoWait);
     s.cv.Wait(s.mu);
     --s.cv_waiters;
   }

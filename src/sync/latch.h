@@ -20,6 +20,7 @@
 
 #include <shared_mutex>
 
+#include "obs/waitstate.h"
 #include "util/counters.h"
 
 namespace oir {
@@ -37,6 +38,7 @@ class Latch {
     c.latch_acquires.fetch_add(1, std::memory_order_relaxed);
     if (!mu_.try_lock_shared()) {
       c.latch_waits.fetch_add(1, std::memory_order_relaxed);
+      obs::WaitScope ws(obs::WaitState::kLatchWait);
       mu_.lock_shared();
     }
   }
@@ -48,6 +50,7 @@ class Latch {
     c.latch_acquires.fetch_add(1, std::memory_order_relaxed);
     if (!mu_.try_lock()) {
       c.latch_waits.fetch_add(1, std::memory_order_relaxed);
+      obs::WaitScope ws(obs::WaitState::kLatchWait);
       mu_.lock();
     }
   }

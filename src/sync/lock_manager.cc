@@ -2,8 +2,11 @@
 
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/waitstate.h"
 #include "util/counters.h"
 #include "util/logging.h"
 
@@ -65,6 +68,10 @@ void LockManager::WatchdogFire(const Shard& shard, const LockKey& key,
                SpaceName(key.space), static_cast<unsigned long long>(key.id),
                static_cast<unsigned long long>(holder_id),
                ModeName(holder_mode), holder_count);
+  // Async only: this thread holds shard.mu, and the flight-record dump
+  // calls back into DumpJson (which takes every shard mutex). Trigger only
+  // touches the recorder's leaf mutex.
+  obs::FlightRecorder::Get().Trigger("lock_watchdog");
 }
 
 Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
@@ -94,6 +101,7 @@ Status LockManager::Lock(TxnId owner, LockKey key, LockMode mode,
     }
     c.lock_waits.fetch_add(1, std::memory_order_relaxed);
     OIR_TRACE(obs::TraceEventType::kLockWaitBegin, key.id, owner);
+    obs::WaitScope ws(obs::WaitState::kLockWait);
     const auto start = std::chrono::steady_clock::now();
     const auto deadline = start + wait_timeout_;
     const int64_t wd_ms = long_wait_ms_.load(std::memory_order_relaxed);
@@ -153,6 +161,7 @@ Status LockManager::LockInstant(TxnId owner, LockKey key, LockMode mode,
   }
   c.lock_waits.fetch_add(1, std::memory_order_relaxed);
   OIR_TRACE(obs::TraceEventType::kLockWaitBegin, key.id, owner);
+  obs::WaitScope ws(obs::WaitState::kLockWait);
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + wait_timeout_;
   const int64_t wd_ms = long_wait_ms_.load(std::memory_order_relaxed);
@@ -224,6 +233,35 @@ size_t LockManager::NumLockedKeys() const {
     n += shards_[i].table.size();
   }
   return n;
+}
+
+std::string LockManager::DumpJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("keys").BeginArray();
+  // Shard-at-a-time: the view is consistent per shard, not globally, which
+  // is fine for a diagnostic dump.
+  for (size_t i = 0; i < kNumShards; ++i) {
+    MutexLock lk(shards_[i].mu);
+    for (const auto& [key, entry] : shards_[i].table) {
+      w.BeginObject();
+      w.Key("space").Value(SpaceName(key.space));
+      w.Key("id").Value(key.id);
+      w.Key("holders").BeginArray();
+      for (const auto& [txn, h] : entry.granted) {
+        w.BeginObject();
+        w.Key("txn").Value(static_cast<uint64_t>(txn));
+        w.Key("mode").Value(ModeName(h.mode));
+        w.Key("count").Value(static_cast<uint64_t>(h.count));
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace oir

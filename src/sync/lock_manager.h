@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <string>
 #include <unordered_map>
 
 #include "sync/mutex.h"
@@ -93,6 +94,12 @@ class LockManager {
   // Test / introspection hooks.
   bool IsHeld(TxnId owner, LockKey key, LockMode mode) const;
   size_t NumLockedKeys() const;
+
+  // Diagnostic dump of every locked key and its holders, as a JSON value
+  // ({"keys":[{"space":..,"id":..,"holders":[{"txn":..,"mode":..,
+  // "count":..}]},...]}). Used by the flight recorder's lock-table
+  // provider. Must not be called with any shard mutex held.
+  std::string DumpJson() const;
 
   void set_wait_timeout(std::chrono::milliseconds t) { wait_timeout_ = t; }
 

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
 namespace oir::fault {
 
 std::atomic<bool> CrashPointRegistry::enabled_{false};
@@ -26,7 +29,33 @@ void CrashPointRegistry::Hit(const char* name) {
   // (e.g. to snapshot counts) cannot self-deadlock. It still runs on the
   // hitting thread, which may hold component mutexes — handlers only flip
   // lock-free flags (see the header).
-  if (fire) fire();
+  if (fire) {
+    // Snapshot the system as it looked at the trip. Asynchronous by design:
+    // this thread may hold component mutexes (WAL, shard, space-map), so
+    // only the recorder's leaf trigger mutex may be touched here.
+    obs::FlightRecorder::Get().Trigger(std::string("crash_point:") + name);
+    fire();
+  }
+}
+
+std::string CrashPointRegistry::DumpJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  {
+    MutexLock l(mu_);
+    w.Key("enabled").Value(enabled());
+    w.Key("armed").Value(armed_);
+    w.Key("fired").Value(fired_);
+    w.Key("armed_name").Value(armed_name_);
+    w.Key("armed_hit").Value(armed_hit_);
+    w.Key("counts").BeginObject();
+    for (const auto& [name, count] : counts_) {
+      w.Key(name).Value(count);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
 }
 
 void CrashPointRegistry::Arm(const std::string& name, uint64_t hit_index,

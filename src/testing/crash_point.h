@@ -65,6 +65,10 @@ class CrashPointRegistry {
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
   void ResetCounts();
 
+  // Registry state (enabled/armed/fired + per-name counts) as a JSON
+  // value, for the flight recorder's crash-point provider.
+  std::string DumpJson() const;
+
   // Parses "name" or "name#hit" (the format the sweep prints for
   // reproduction). Returns false on a malformed hit ordinal.
   static bool ParseSpec(const std::string& spec, std::string* name,

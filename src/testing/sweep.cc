@@ -13,6 +13,7 @@
 
 #include "core/db.h"
 #include "core/index.h"
+#include "obs/flight_recorder.h"
 #include "testing/crash_point.h"
 #include "testing/fault_disk.h"
 #include "testing/oracle.h"
@@ -252,6 +253,12 @@ Status Fail(const SweepWorkloadOptions& opts, const std::string& point,
   std::ostringstream os;
   os << "crash sweep failed at " << point << "#" << hit << " (seed "
      << opts.seed << "): " << why << "; " << ReproLine(opts, point, hit);
+  // Pair the repro string with a diagnostic bundle: stats, trace ring,
+  // wait profile and crash-point counts as they looked at the failure.
+  std::string bundle;
+  if (obs::FlightRecorder::Get().DumpNow("sweep_failure:" + point, &bundle)) {
+    os << "; flight record: " << bundle;
+  }
   return Status::Corruption(os.str());
 }
 

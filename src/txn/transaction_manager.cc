@@ -1,6 +1,8 @@
 #include "txn/transaction_manager.h"
 
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/waitstate.h"
 #include "testing/crash_point.h"
 #include "util/logging.h"
 
@@ -24,6 +26,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
+  obs::OpScope op(obs::OpType::kCommit);
   OIR_CHECK(txn->state() == TxnState::kActive);
   if (txn->last_lsn() != kInvalidLsn) {
     LogRecord commit;
@@ -122,6 +125,24 @@ void TransactionManager::SnapshotActive(std::vector<CheckpointTxn>* out,
       *oldest_begin = txn->begin_lsn();
     }
   }
+}
+
+std::string TransactionManager::DumpActiveTxnsJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("active").BeginArray();
+  {
+    MutexLock l(mu_);
+    for (const auto& [id, txn] : active_) {
+      w.BeginObject();
+      w.Key("txn").Value(static_cast<uint64_t>(id));
+      w.Key("last_lsn").Value(static_cast<uint64_t>(txn->last_lsn()));
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 size_t TransactionManager::NumActive() const {

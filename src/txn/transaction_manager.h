@@ -11,6 +11,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "recovery/log_apply.h"
@@ -60,6 +61,10 @@ class TransactionManager {
   // kInvalidLsn when no transaction is active).
   void SnapshotActive(std::vector<CheckpointTxn>* out,
                       Lsn* oldest_begin) const;
+
+  // Diagnostic dump of the active-transaction table as a JSON value
+  // ({"active":[{"txn":..,"last_lsn":..},...]}), for the flight recorder.
+  std::string DumpActiveTxnsJson() const;
 
   TxnId next_txn_id() const {
     return next_txn_id_.load(std::memory_order_relaxed);

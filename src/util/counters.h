@@ -47,7 +47,8 @@ namespace oir {
   V(wal_segments_completed)   \
   V(wal_inflight_bytes)       \
   V(pool_wb_enqueued)         \
-  V(pool_wb_async_writes)
+  V(pool_wb_async_writes)     \
+  V(flight_records_dumped)
 
 struct CounterSnapshot {
 #define OIR_COUNTER_DECL(name) uint64_t name = 0;

@@ -12,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/waitstate.h"
 #include "testing/crash_point.h"
 #include "util/coding.h"
 #include "util/counters.h"
@@ -375,6 +376,9 @@ Status LogManager::FlushToLocked(Lsn lsn) {
     if (master_ckpt_ != kInvalidLsn && master_ckpt_ < durable_lsn_) {
       durable_master_ckpt_ = master_ckpt_;
     }
+    // The inline write+fsync is this thread waiting for durability, the
+    // same as the group-commit CV wait below.
+    obs::WaitScope ws(obs::WaitState::kWalCommitWait);
     return PersistLocked();
   }
   // Group commit: publish the target, wake the flusher/sealer, and wait
@@ -404,9 +408,12 @@ Status LogManager::FlushToLocked(Lsn lsn) {
       if (!had_demand) flush_cv_.NotifyOne();
     }
     const uint64_t my_err = flush_err_seq_;
-    while (
-        !(lsn < durable_lsn_ || flush_err_seq_ != my_err || stop_flusher_)) {
-      flushed_cv_.Wait(mu_);
+    {
+      obs::WaitScope ws(obs::WaitState::kWalCommitWait);
+      while (
+          !(lsn < durable_lsn_ || flush_err_seq_ != my_err || stop_flusher_)) {
+        flushed_cv_.Wait(mu_);
+      }
     }
     if (lsn < durable_lsn_) {
       AckLocked();
@@ -443,7 +450,7 @@ void LogManager::FlusherLoop() {
   MutexLock lk(mu_);
   while (!stop_flusher_) {
     if (requested_lsn_ <= durable_lsn_) {
-      flush_cv_.Wait(mu_);
+      flush_cv_.Wait(mu_);  // wait-state: flusher idle, no demand
       continue;
     }
     // One batched flush round covering every record appended so far: all
@@ -604,7 +611,7 @@ void LogManager::PipelineLoop() {
   while (!stop_flusher_) {
     CompleteSegmentsLocked();
     if (quiescing_) {
-      flush_cv_.Wait(mu_);
+      flush_cv_.Wait(mu_);  // wait-state: sealer parked while quiescing
       continue;
     }
     const Lsn tail = trim_base_ + buf_.size();
@@ -618,6 +625,7 @@ void LogManager::PipelineLoop() {
         // reach the device in bounded time. (In-memory logs skip this:
         // durability there is simulated, and advancing it without a flush
         // request would change SimulateCrash semantics.)
+        // wait-state: sealer batching window, not an operation wait
         flush_cv_.WaitFor(mu_, std::chrono::milliseconds(5));
         if (stop_flusher_ || quiescing_) continue;
         if (requested_lsn_ > submitted_lsn_ ||
@@ -626,12 +634,14 @@ void LogManager::PipelineLoop() {
         }
         // Timed out with a stable idle tail: fall through and seal it.
       } else {
-        flush_cv_.Wait(mu_);
+        flush_cv_.Wait(mu_);  // wait-state: sealer idle, no demand
         continue;
       }
     }
     if (inflight_.size() >= wal_opts_.inflight_segments) {
-      flush_cv_.Wait(mu_);  // a completion frees a slot and notifies
+      // wait-state: sealer backpressure; a completion frees a slot and
+      // notifies
+      flush_cv_.Wait(mu_);
       continue;
     }
     if (demand && !size_due && writer_ != nullptr &&
@@ -647,6 +657,7 @@ void LogManager::PipelineLoop() {
              !fail_flushes_.load(std::memory_order_relaxed) &&
              trim_base_ + buf_.size() - submitted_lsn_ <
                  wal_opts_.segment_bytes) {
+        // wait-state: sealer micro-batch window, not an operation wait
         if (flush_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
           break;
         }
@@ -666,7 +677,7 @@ void LogManager::PipelineLoop() {
         requested_lsn_ = durable_lsn_;
         flushed_cv_.NotifyAll();
       }
-      flush_cv_.Wait(mu_);
+      flush_cv_.Wait(mu_);  // wait-state: log device failed, parked
       continue;
     }
     const Lsn begin = submitted_lsn_;
@@ -683,7 +694,7 @@ void LogManager::PipelineLoop() {
       const uint64_t first_sector =
           FileOffsetLocked(begin) / kWalSectorSize * kWalSectorSize;
       if (first_sector < padded_end_off_) {
-        flush_cv_.Wait(mu_);
+        flush_cv_.Wait(mu_);  // wait-state: sealer O_DIRECT sector hazard
         continue;
       }
     }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -158,6 +159,44 @@ TEST(MetricRegistryTest, DisabledTimersRecordNothing) {
   EXPECT_EQ(h.Count(), 0u);
 }
 
+TEST(MetricRegistryTest, ScopedTimerRecordsOnceAcrossExitPaths) {
+  ObsFlagGuard guard;
+  MetricRegistry::SetTimersEnabled(true);
+  auto& reg = MetricRegistry::Get();
+  obs::TimerStat* t = reg.Timer("test.obs.exit_paths_ns");
+  t->Reset();
+
+  // Exception unwind: the destructor must record exactly once.
+  try {
+    obs::ScopedTimer scope(t);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  Histogram h1;
+  t->MergeInto(&h1);
+  EXPECT_EQ(h1.Count(), 1u);
+
+  // Explicit Stop() (the longjmp-style early-exit hook) is idempotent and
+  // the destructor must not double-record after it.
+  {
+    obs::ScopedTimer scope(t);
+    scope.Stop();
+    scope.Stop();
+  }
+  Histogram h2;
+  t->MergeInto(&h2);
+  EXPECT_EQ(h2.Count(), 2u);
+
+  // Cancel() suppresses the record entirely.
+  {
+    obs::ScopedTimer scope(t);
+    scope.Cancel();
+  }
+  Histogram h3;
+  t->MergeInto(&h3);
+  EXPECT_EQ(h3.Count(), 2u);
+}
+
 TEST(MetricRegistryTest, GaugesSampledAtSnapshot) {
   auto& reg = MetricRegistry::Get();
   std::atomic<uint64_t> v{7};
@@ -241,6 +280,36 @@ TEST(TraceTest, ConcurrentWritersAndDumper) {
   stop.store(true);
   for (auto& th : writers) th.join();
   EXPECT_FALSE(tb.Snapshot().empty());
+}
+
+TEST(TraceTest, WrapAroundWhileReaderRacesEightWriters) {
+  ObsFlagGuard guard;
+  auto& tb = TraceBuffer::Get();
+  tb.SetEnabled(true);
+  tb.Clear();
+  // Each writer overfills rings while a reader dumps: wrap-around
+  // overwrites must never tear a record or corrupt the JSON.
+  constexpr int kWriters = 8;
+  const size_t per_writer = TraceBuffer::kRingCapacity + 512;
+  std::vector<std::thread> writers;
+  for (int i = 0; i < kWriters; ++i) {
+    writers.emplace_back([&tb, per_writer, i] {
+      for (size_t n = 0; n < per_writer; ++n) {
+        tb.Record(TraceEventType::kWalSegSeal, i, n);
+      }
+    });
+  }
+  for (int i = 0; i < 30; ++i) {
+    std::string doc = tb.DumpJson();
+    EXPECT_TRUE(JsonIsValid(doc));
+  }
+  for (auto& th : writers) th.join();
+  std::vector<obs::TraceRecord> snap = tb.Snapshot();
+  EXPECT_FALSE(snap.empty());
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GE(snap[i].ts_ns, snap[i - 1].ts_ns);
+  }
+  EXPECT_TRUE(JsonIsValid(tb.DumpJson()));
 }
 
 TEST(TraceTest, ChromeTracingHasSlicesForRebuildPhases) {

@@ -19,6 +19,12 @@ Enforced rules, each backed by a stronger mechanism where one exists:
                   the pipelined durable path — route durability through
                   LogManager::FlushTo (WAL) or the BufferManager write-back
                   worker (data pages) instead.
+  wait-scope      Condition-variable waits (.Wait / .WaitFor / .WaitUntil)
+                  outside src/sync must be attributed for the wait-state
+                  profiler: either an obs::WaitScope on the same or one of the
+                  10 preceding lines, or a `// wait-state: <why>` comment on
+                  the wait line or at most 2 lines above it marking the wait
+                  as a background/idle wait that is deliberately unattributed.
   crash-point     OIR_CRASH_POINT must be a whole, unconditional statement —
                   not folded into an if/else/loop header or hanging off an
                   unbraced conditional, where a refactor can silently skip the
@@ -45,6 +51,7 @@ SLEEP = re.compile(
     r"std::this_thread::sleep_(?:for|until)\b|\busleep\s*\(|\bnanosleep\s*\("
 )
 SYNC_CALL = re.compile(r"(?:->|\.)\s*Sync\s*\(\s*\)")
+WAIT_CALL = re.compile(r"(?:->|\.)\s*(?:Wait(?:For|Until)?|wait(?:_for|_until)?)\s*\(")
 COND_TAIL = re.compile(r"^\s*(?:if|else if|while|for)\s*\([^{]*\)\s*$|^\s*else\s*$")
 
 
@@ -87,6 +94,7 @@ def lint_file(path, src_root, findings):
     raw = path.read_text(encoding="utf-8", errors="replace")
     text = strip_comments_and_strings(raw)
     lines = text.splitlines()
+    raw_lines = raw.splitlines()
     rel = path.relative_to(src_root.parent)
     in_sync = str(rel).startswith("src/sync/")
     in_testing = str(rel).startswith("src/testing/")
@@ -109,6 +117,24 @@ def lint_file(path, src_root, findings):
                 f"storage/WAL write-back internals; use LogManager::FlushTo "
                 f"or the write-back worker"
             )
+        if not in_sync and WAIT_CALL.search(line):
+            # Attributed: a WaitScope opened on this or one of the 10
+            # preceding (comment-stripped) lines. Exempt: an explicit
+            # `wait-state:` comment on the wait line or <= 2 raw lines
+            # above, marking a background/idle wait.
+            scoped = any(
+                "WaitScope" in lines[j] for j in range(max(0, idx - 11), idx)
+            )
+            noted = any(
+                "wait-state:" in raw_lines[j]
+                for j in range(max(0, idx - 3), idx)
+            )
+            if not scoped and not noted:
+                findings.append(
+                    f"{rel}:{idx}: wait-scope: naked CV wait; wrap in "
+                    f"obs::WaitScope (attributed wait) or mark with a "
+                    f"'// wait-state: <why>' comment (background wait)"
+                )
         col = line.find("OIR_CRASH_POINT")
         if col >= 0 and "#define" not in line:
             bad = line[:col].strip() != ""
