@@ -117,9 +117,9 @@ Status Db::Open(const DbOptions& options, std::unique_ptr<Db>* out) {
   db->tree_ = std::make_unique<BTree>(db->bm_.get(), db->log_.get(),
                                       db->locks_.get(), db->space_.get());
   db->txn_mgr_->SetUndoHook(db->tree_.get());
-  db->index_ = std::make_unique<Index>(db->tree_.get(), db->txn_mgr_.get(),
-                                       db->bm_.get(), db->log_.get(),
-                                       db->locks_.get(), db->space_.get());
+  db->index_ = std::make_unique<Index>(
+      db->tree_.get(), db->txn_mgr_.get(), db->bm_.get(), db->log_.get(),
+      db->locks_.get(), db->space_.get(), &db->rebuild_journal_);
 
   // Bootstrap: create the empty index inside a committed transaction so
   // that recovery can always replay the database from an empty log.
@@ -155,9 +155,9 @@ Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
   db->tree_ = std::make_unique<BTree>(db->bm_.get(), db->log_.get(),
                                       db->locks_.get(), db->space_.get());
   db->txn_mgr_->SetUndoHook(db->tree_.get());
-  db->index_ = std::make_unique<Index>(db->tree_.get(), db->txn_mgr_.get(),
-                                       db->bm_.get(), db->log_.get(),
-                                       db->locks_.get(), db->space_.get());
+  db->index_ = std::make_unique<Index>(
+      db->tree_.get(), db->txn_mgr_.get(), db->bm_.get(), db->log_.get(),
+      db->locks_.get(), db->space_.get(), &db->rebuild_journal_);
 
   // Restart recovery over the persisted log and data file.
   RecoveryStats local;
@@ -169,6 +169,7 @@ Status Db::OpenExisting(const DbOptions& options, std::unique_ptr<Db>* out,
   OIR_RETURN_IF_ERROR(rm.UndoLosers(db->tree_.get(), st));
   OIR_RETURN_IF_ERROR(rm.Finish(st));
   db->txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
+  db->AdoptRebuildResume(rm.rebuild_resume());
   obs::MetricRegistry::Get().SetReport("recovery", st->ToJson());
   db->StartObservability();
   *out = std::move(db);
@@ -193,6 +194,10 @@ Status Db::Checkpoint(Lsn* truncation_horizon) {
   ckpt.ckpt_deallocated = space_->PagesInState(PageState::kDeallocated);
   ckpt.ckpt_end_page = space_->end_page();
   ckpt.ckpt_next_txn_id = txn_mgr_->next_txn_id();
+  // A checkpoint taken mid-rebuild embeds the latest durable progress so
+  // the resume point survives truncation of the log prefix that held the
+  // kRebuildProgress records. No rebuild pending => inactive defaults.
+  (void)rebuild_journal_.Latest(&ckpt.rebuild_progress);
   Lsn oldest_begin = kInvalidLsn;
   txn_mgr_->SnapshotActive(&ckpt.ckpt_txns, &oldest_begin);
   Lsn ckpt_lsn = log_->AppendSystem(&ckpt);
@@ -245,7 +250,36 @@ Status Db::CrashAndRecover(RecoveryStats* stats) {
   OIR_RETURN_IF_ERROR(rm.UndoLosers(tree_.get(), st));
   OIR_RETURN_IF_ERROR(rm.Finish(st));
   txn_mgr_->ResetAfterCrash(rm.max_txn_id() + 1);
+  AdoptRebuildResume(rm.rebuild_resume());
   obs::MetricRegistry::Get().SetReport("recovery", st->ToJson());
+  return Status::OK();
+}
+
+void Db::AdoptRebuildResume(const RebuildResumeState& resume) {
+  pending_rebuild_ = resume;
+  if (resume.pending) {
+    // Keep the journal armed: a checkpoint taken before the rebuild is
+    // resumed must still carry the resume point (the log prefix holding
+    // the progress records may be truncated afterwards).
+    rebuild_journal_.Publish(resume.progress);
+  } else {
+    rebuild_journal_.Clear();
+  }
+}
+
+Status Db::ResumeRebuild(RebuildOptions options, RebuildResult* result) {
+  if (!pending_rebuild_.pending) {
+    return Status::InvalidArgument("no pending rebuild to resume");
+  }
+  const RebuildProgressInfo& p = pending_rebuild_.progress;
+  options.resume = true;
+  options.resume_cursor_valid = p.has_cursor;
+  options.resume_cursor = p.cursor;
+  options.resume_leaves_rebuilt = p.leaves_rebuilt;
+  options.resume_top_actions = p.top_actions;
+  options.resume_transactions = p.transactions;
+  OIR_RETURN_IF_ERROR(index_->RebuildOnline(options, result));
+  pending_rebuild_ = RebuildResumeState();
   return Status::OK();
 }
 

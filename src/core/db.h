@@ -11,6 +11,7 @@
 
 #include "btree/btree.h"
 #include "core/options.h"
+#include "core/rebuild_journal.h"
 #include "obs/metrics.h"
 #include "recovery/recovery.h"
 #include "sync/mutex.h"
@@ -97,6 +98,21 @@ class Db {
   // Takes a checkpoint and then reclaims the no-longer-needed log prefix.
   Status CheckpointAndTruncate();
 
+  // ---- resumable rebuild ----
+  // True when restart recovery found a rebuild that was in flight at the
+  // crash (a durable kRebuildProgress record, or a checkpoint carrying
+  // one, without a matching done record).
+  bool has_pending_rebuild() const { return pending_rebuild_.pending; }
+  const RebuildResumeState& pending_rebuild() const {
+    return pending_rebuild_;
+  }
+
+  // Re-runs the crashed rebuild from its last durable cursor. `options`
+  // supplies the knobs (ntasize, throttle, ...); the resume fields are
+  // overwritten from the recovered pending state. InvalidArgument when no
+  // rebuild is pending. On success the pending state is cleared.
+  Status ResumeRebuild(RebuildOptions options, RebuildResult* result);
+
   // Fills `out` with a stats snapshot spanning the buffer pool, WAL, lock
   // manager, B-tree, space map, global counters and the metric registry.
   Status GetStats(StatsReport* out);
@@ -128,6 +144,10 @@ class Db {
  private:
   explicit Db(const DbOptions& options);
 
+  // Installs recovery's rebuild resume point: records it for
+  // ResumeRebuild and re-arms (or clears) the checkpoint journal.
+  void AdoptRebuildResume(const RebuildResumeState& resume);
+
   // Registers the flight-recorder providers (stats / lock table / active
   // transactions) and starts the stats publisher if configured. Called at
   // the end of Open/OpenExisting, once the full stack exists.
@@ -149,6 +169,11 @@ class Db {
   std::unique_ptr<TransactionManager> txn_mgr_;
   std::unique_ptr<BTree> tree_;
   std::unique_ptr<Index> index_;
+
+  // Progress mailbox between the rebuilder and Checkpoint (see
+  // rebuild_journal.h), plus the resume point recovered after a crash.
+  RebuildJournal rebuild_journal_;
+  RebuildResumeState pending_rebuild_;
 
   // Flight-recorder registration tokens (0 = not registered).
   uint64_t fr_stats_token_ = 0;

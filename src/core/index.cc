@@ -7,9 +7,10 @@
 namespace oir {
 
 Index::Index(BTree* tree, TransactionManager* tm, BufferManager* bm,
-             LogManager* log, LockManager* locks, SpaceManager* space)
+             LogManager* log, LockManager* locks, SpaceManager* space,
+             RebuildJournal* journal)
     : tree_(tree), tm_(tm), bm_(bm), log_(log), locks_(locks),
-      space_(space) {}
+      space_(space), journal_(journal) {}
 
 namespace {
 
@@ -73,7 +74,7 @@ std::unique_ptr<LockingCursor> Index::NewLockingCursor(Transaction* txn) {
 Status Index::RebuildOnline(const RebuildOptions& options,
                             RebuildResult* result) {
   // No table lock, no logical locks — the whole point of the paper.
-  OnlineRebuilder rebuilder(tree_, tm_, bm_, log_, locks_, space_);
+  OnlineRebuilder rebuilder(tree_, tm_, bm_, log_, locks_, space_, journal_);
   return rebuilder.Run(options, result);
 }
 

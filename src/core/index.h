@@ -60,8 +60,11 @@ class LockingCursor {
 
 class Index {
  public:
+  // `journal` (optional) is handed to the online rebuilder so checkpoints
+  // can embed the latest durable rebuild progress (see rebuild_journal.h).
   Index(BTree* tree, TransactionManager* tm, BufferManager* bm,
-        LogManager* log, LockManager* locks, SpaceManager* space);
+        LogManager* log, LockManager* locks, SpaceManager* space,
+        RebuildJournal* journal = nullptr);
 
   Index(const Index&) = delete;
   Index& operator=(const Index&) = delete;
@@ -96,6 +99,7 @@ class Index {
   LogManager* const log_;
   LockManager* const locks_;
   SpaceManager* const space_;
+  RebuildJournal* const journal_;
 };
 
 }  // namespace oir

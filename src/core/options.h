@@ -143,6 +143,45 @@ struct RebuildOptions {
   // into the database. Leave empty for no callbacks; other threads can also
   // poll OnlineRebuilder::progress() directly.
   std::function<void(const obs::RebuildProgress&)> on_progress;
+
+  // ---- resumability ----
+  // Append a kRebuildProgress record (copy cursor, carried counters,
+  // new-page high-water mark) after every N committed rebuild
+  // transactions, plus one at start and one at completion. Restart
+  // recovery re-arms a crashed rebuild from the last durable one. 0
+  // disables progress logging (ablation: the pre-resume behavior).
+  uint32_t progress_interval_txns = 1;
+
+  // Resume point of a crashed rebuild (normally filled by
+  // Db::ResumeRebuild from recovery's pending state; settable directly for
+  // tests). With resume=true the copy starts after resume_cursor instead
+  // of at the leftmost leaf; resume_cursor_valid=false resumes from the
+  // beginning but still carries the counters below into the progress
+  // tracker.
+  bool resume = false;
+  bool resume_cursor_valid = false;
+  std::string resume_cursor;
+  uint64_t resume_leaves_rebuilt = 0;
+  uint64_t resume_top_actions = 0;
+  uint64_t resume_transactions = 0;
+
+  // ---- admission control ----
+  // Pace the rebuild so foreground operations degrade no more than this
+  // percentage versus their latency baseline. Between top actions the
+  // throttle samples live signals — foreground mean latency and lock-wait
+  // share from the wait profiler (when enabled), lock-watchdog fires and
+  // buffer-pool eviction pressure from the global counters — and inserts
+  // an attributed (WaitState::kThrottled) pause that grows
+  // multiplicatively while foreground is over budget and decays
+  // additively once it recovers. 0 disables pacing.
+  uint32_t max_foreground_degradation_pct = 0;
+
+  // Foreground mean-latency baseline in nanoseconds for the degradation
+  // target. 0 captures it automatically from the wait profiler's read/
+  // write aggregates at rebuild start (requires WaitProfiler enabled and
+  // prior foreground traffic; otherwise only the counter-based signals
+  // pace the rebuild).
+  uint64_t throttle_baseline_ns = 0;
 };
 
 struct RebuildResult {
@@ -157,6 +196,14 @@ struct RebuildResult {
   uint64_t wall_ns = 0;
   uint64_t level1_visits = 0;
   uint64_t io_ops = 0;
+
+  // Resumability + admission control (this run only; a resumed run's
+  // counters above do not include the crashed run's work).
+  bool resumed = false;              // run started from a resume cursor
+  std::string resume_cursor;         // the cursor it started from
+  uint64_t progress_records = 0;     // kRebuildProgress records appended
+  uint64_t throttle_pauses = 0;      // admission-control pauses taken
+  uint64_t throttle_pause_us = 0;    // total attributed pause time
 
   // JSON object with every field above (stats-export path).
   std::string ToJson() const;

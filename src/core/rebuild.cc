@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/rebuild_throttle.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,6 +45,7 @@ struct OnlineRebuilder::Impl {
   LogManager* log;
   LockManager* locks;
   SpaceManager* space;
+  RebuildJournal* journal = nullptr;
   RebuildOptions opts;
   RebuildResult* result;
   obs::RebuildProgressTracker* progress;
@@ -51,6 +53,14 @@ struct OnlineRebuilder::Impl {
   // Rebuild position: largest composite key copied so far.
   std::string resume_key;
   bool has_resume = false;
+
+  // Highest new page id produced so far (0 = none yet): the side-file
+  // high-water mark carried in progress records so a resumed run knows the
+  // extent of already-produced pages.
+  PageId new_page_hwm = kInvalidPageId;
+
+  // Committed rebuild transactions since the last progress record.
+  uint32_t txns_since_progress = 0;
 
   // Per-transaction page sets. flush_pages_txn holds every keycopy TARGET
   // of the transaction — the new pages plus each top action's PP, which may
@@ -73,6 +83,13 @@ struct OnlineRebuilder::Impl {
   }
 
   Status Run();
+  // Appends (and flushes) a kRebuildProgress record describing the current
+  // durable position, fires the "rebuild.progress.logged" crash point and
+  // mirrors the record into the journal for checkpoint embedding.
+  // Appends a kRebuildProgress record. `in_txn` records ride ahead of
+  // their transaction's commit record (its flush makes them durable);
+  // standalone markers are flushed immediately.
+  Status LogProgress(bool done_flag, bool in_txn);
   Status TopAction(OpCtx op, BTree::Path* path, bool* done);
   Status LockBatch(OpCtx op, BTree::NtaScope* nta, const Slice& skey,
                    PageId* pp_id, std::vector<PageId>* batch, PageId* np_id,
@@ -94,8 +111,15 @@ struct OnlineRebuilder::Impl {
 
 OnlineRebuilder::OnlineRebuilder(BTree* tree, TransactionManager* tm,
                                  BufferManager* bm, LogManager* log,
-                                 LockManager* locks, SpaceManager* space)
-    : tree_(tree), tm_(tm), bm_(bm), log_(log), locks_(locks), space_(space) {}
+                                 LockManager* locks, SpaceManager* space,
+                                 RebuildJournal* journal)
+    : tree_(tree),
+      tm_(tm),
+      bm_(bm),
+      log_(log),
+      locks_(locks),
+      space_(space),
+      journal_(journal) {}
 
 Status OnlineRebuilder::Run(const RebuildOptions& options,
                             RebuildResult* result) {
@@ -109,6 +133,10 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   if (options.io_pages > bm_->pool_frames()) {
     return Status::InvalidArgument("io_pages exceeds the buffer pool size");
   }
+  if (options.resume && options.resume_cursor_valid &&
+      options.resume_cursor.empty()) {
+    return Status::InvalidArgument("resume cursor marked valid but empty");
+  }
   *result = RebuildResult();
   Impl impl;
   impl.tree = tree_;
@@ -117,12 +145,27 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   impl.log = log_;
   impl.locks = locks_;
   impl.space = space_;
+  impl.journal = journal_;
   impl.opts = options;
   impl.result = result;
   impl.progress = &progress_;
 
   progress_.Reset();
   progress_.Begin(space_->CountInState(PageState::kAllocated));
+  if (options.resume) {
+    // Carry the crashed run's counters so pollers see cumulative progress;
+    // RebuildResult stays this-run-only.
+    progress_.resumed.store(true, std::memory_order_relaxed);
+    progress_.leaves_rebuilt.store(options.resume_leaves_rebuilt,
+                                   std::memory_order_relaxed);
+    progress_.top_actions.store(options.resume_top_actions,
+                                std::memory_order_relaxed);
+    progress_.transactions.store(options.resume_transactions,
+                                 std::memory_order_relaxed);
+    result->resumed = true;
+    result->resume_cursor =
+        options.resume_cursor_valid ? options.resume_cursor : std::string();
+  }
 
   // Live-progress gauges for pollers (oir_top): registered only while the
   // rebuild runs; the callbacks capture progress_, which outlives them.
@@ -137,6 +180,15 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   });
   reg.RegisterGauge("rebuild.top_actions", [pr] {
     return pr->top_actions.load(std::memory_order_relaxed);
+  });
+  reg.RegisterGauge("rebuild.progress_records", [pr] {
+    return pr->progress_records.load(std::memory_order_relaxed);
+  });
+  reg.RegisterGauge("rebuild.throttle_pauses", [pr] {
+    return pr->throttle_pauses.load(std::memory_order_relaxed);
+  });
+  reg.RegisterGauge("rebuild.throttle_us", [pr] {
+    return pr->throttle_us.load(std::memory_order_relaxed);
   });
 
   CounterSnapshot before = GlobalCounters::Get().Snapshot();
@@ -154,6 +206,9 @@ Status OnlineRebuilder::Run(const RebuildOptions& options,
   reg.UnregisterGauge("rebuild.leaves_total");
   reg.UnregisterGauge("rebuild.leaves_rebuilt");
   reg.UnregisterGauge("rebuild.top_actions");
+  reg.UnregisterGauge("rebuild.progress_records");
+  reg.UnregisterGauge("rebuild.throttle_pauses");
+  reg.UnregisterGauge("rebuild.throttle_us");
   progress_.Finish();
   if (options.on_progress) options.on_progress(progress_.Load());
   // The last completed rebuild is exported through the JSON stats path
@@ -176,11 +231,35 @@ std::string RebuildResult::ToJson() const {
   w.Key("wall_ns").Value(wall_ns);
   w.Key("level1_visits").Value(level1_visits);
   w.Key("io_ops").Value(io_ops);
+  w.Key("resumed").Value(resumed);
+  w.Key("resume_cursor").Value(resume_cursor);
+  w.Key("progress_records").Value(progress_records);
+  w.Key("throttle_pauses").Value(throttle_pauses);
+  w.Key("throttle_pause_us").Value(throttle_pause_us);
   w.EndObject();
   return w.str();
 }
 
 Status OnlineRebuilder::Impl::Run() {
+  // Resume point of a crashed run (Db::ResumeRebuild / tests): the copy
+  // restarts after the last durable cursor instead of at the leftmost leaf.
+  if (opts.resume && opts.resume_cursor_valid) {
+    resume_key = opts.resume_cursor;
+    has_resume = true;
+  }
+
+  // Admission control: paced between top actions; lives for this run only.
+  RebuildThrottle throttle(RebuildThrottle::Config{
+      opts.max_foreground_degradation_pct, opts.throttle_baseline_ns});
+  throttle.Start();
+
+  // Durable begin marker: recovery learns a rebuild is in flight even
+  // before the first transaction commits (resume falls back to "restart
+  // from the cursor carried here" — for a fresh run, from the beginning,
+  // but with the prior counters intact).
+  Status ps = LogProgress(/*done_flag=*/false, /*in_txn=*/false);
+  if (!ps.ok()) return ps;
+
   bool done = false;
   BTree::Path path;
   while (!done) {
@@ -195,8 +274,16 @@ Status OnlineRebuilder::Impl::Run() {
       size_t before = old_pages_txn.size();
       OIR_TRACE(obs::TraceEventType::kTopActionBegin, result->top_actions, 0);
       {
-        // Each top action is one rebuild "operation" in the wait profile.
+        // Each top action is one rebuild "operation" in the wait profile;
+        // pacing inside the scope attributes the pause as throttled time
+        // of the rebuild op rather than unclassified thread idle.
         obs::OpScope rebuild_op(obs::OpType::kRebuild);
+        uint64_t paused_us = throttle.Pace();
+        if (paused_us > 0) {
+          progress->throttle_pauses.fetch_add(1, std::memory_order_relaxed);
+          progress->throttle_us.fetch_add(paused_us,
+                                          std::memory_order_relaxed);
+        }
         s = TopAction(op, &path, &done);
       }
       const uint64_t delta = old_pages_txn.size() - before;
@@ -205,7 +292,8 @@ Status OnlineRebuilder::Impl::Run() {
       if (!s.ok()) break;
       pages_this_txn += static_cast<uint32_t>(delta);
       progress->leaves_rebuilt.fetch_add(delta, std::memory_order_relaxed);
-      progress->top_actions.store(result->top_actions,
+      progress->top_actions.store(opts.resume_top_actions +
+                                      result->top_actions,
                                   std::memory_order_relaxed);
       if (opts.on_progress) opts.on_progress(progress->Load());
     }
@@ -227,6 +315,11 @@ Status OnlineRebuilder::Impl::Run() {
           space->Free(p);
         }
       }
+      {
+        RebuildThrottle::Stats ts = throttle.stats();
+        result->throttle_pauses = ts.pauses;
+        result->throttle_pause_us = ts.pause_us;
+      }
       return s;
     }
     // Commit path (Section 3): force the new pages, commit, then free the
@@ -236,6 +329,22 @@ Status OnlineRebuilder::Impl::Run() {
     const uint64_t flush0 = NowNanos();
     OIR_CRASH_POINT("rebuild.txn.flush");
     OIR_RETURN_IF_ERROR(bm->FlushPages(flush_pages_txn, opts.io_pages));
+    // Durable progress rides AHEAD of the commit record: the group-commit
+    // flush that makes this transaction durable makes the progress record
+    // durable in the same prefix, so the resume point can never trail the
+    // committed transaction count — a crash anywhere after Commit returns
+    // still finds this transaction's cursor on disk. (Safe even if the
+    // commit record itself is lost: the record's top actions are NTAs in
+    // the same durable prefix, and they survive the rollback.) The done
+    // record doubles as the "no resume needed" marker for recovery and
+    // clears the checkpoint journal.
+    if (opts.progress_interval_txns > 0) {
+      ++txns_since_progress;
+      if (done || txns_since_progress >= opts.progress_interval_txns) {
+        txns_since_progress = 0;
+        OIR_RETURN_IF_ERROR(LogProgress(/*done_flag=*/done, /*in_txn=*/true));
+      }
+    }
     OIR_CRASH_POINT("rebuild.txn.commit");
     OIR_RETURN_IF_ERROR(tm->Commit(txn.get()));
     OIR_RETURN_IF_ERROR(FreeOldPagesViaLogScan(txn.get()));
@@ -246,6 +355,50 @@ Status OnlineRebuilder::Impl::Run() {
     ++result->transactions;
     progress->transactions.fetch_add(1, std::memory_order_relaxed);
     if (opts.on_progress) opts.on_progress(progress->Load());
+  }
+  RebuildThrottle::Stats ts = throttle.stats();
+  result->throttle_pauses = ts.pauses;
+  result->throttle_pause_us = ts.pause_us;
+  return Status::OK();
+}
+
+Status OnlineRebuilder::Impl::LogProgress(bool done_flag, bool in_txn) {
+  if (opts.progress_interval_txns == 0) return Status::OK();
+  LogRecord rec;
+  rec.type = LogType::kRebuildProgress;
+  RebuildProgressInfo& rp = rec.rebuild_progress;
+  rp.active = !done_flag;
+  rp.done = done_flag;
+  rp.has_cursor = has_resume;
+  rp.cursor = resume_key;
+  rp.leaves_rebuilt =
+      progress->leaves_rebuilt.load(std::memory_order_relaxed);
+  rp.top_actions = opts.resume_top_actions + result->top_actions;
+  // An in-transaction record rides ahead of its transaction's commit
+  // record, so it counts the transaction it rides in: if the record is
+  // durable, every preceding top action is durable with it (WAL flushes
+  // are prefix-ordered, and top actions are NTAs that survive even their
+  // transaction's rollback) — the cursor is valid no matter how the commit
+  // itself fares.
+  rp.transactions =
+      opts.resume_transactions + result->transactions + (in_txn ? 1 : 0);
+  rp.new_page_hwm = new_page_hwm;
+  Lsn lsn = log->AppendSystem(&rec);
+  if (!in_txn) {
+    // Standalone marker (begin): nothing downstream is about to flush it,
+    // so force it durable now. In-transaction records skip this — the
+    // group-commit flush that makes the transaction durable covers them.
+    OIR_RETURN_IF_ERROR(log->FlushTo(lsn));
+  }
+  OIR_CRASH_POINT("rebuild.progress.logged");
+  ++result->progress_records;
+  progress->progress_records.fetch_add(1, std::memory_order_relaxed);
+  if (journal != nullptr) {
+    if (done_flag) {
+      journal->Clear();
+    } else {
+      journal->Publish(rp);
+    }
   }
   return Status::OK();
 }
@@ -699,6 +852,9 @@ Status OnlineRebuilder::Impl::CopyPhase(OpCtx op, BTree::NtaScope* nta,
   std::vector<PageId> new_ids;
   if (k > 0) {
     OIR_RETURN_IF_ERROR(space->AllocateChunk(op.ctx, k, &new_ids));
+    for (PageId id : new_ids) {
+      if (id > new_page_hwm) new_page_hwm = id;
+    }
   }
   OIR_CRASH_POINT("rebuild.copy.alloc");
   for (uint32_t j = 0; j < k; ++j) {

@@ -36,6 +36,7 @@
 
 #include "btree/btree.h"
 #include "core/options.h"
+#include "core/rebuild_journal.h"
 #include "obs/progress.h"
 #include "txn/transaction_manager.h"
 
@@ -43,8 +44,11 @@ namespace oir {
 
 class OnlineRebuilder {
  public:
+  // `journal` (optional) receives every durable progress record the rebuild
+  // appends, so a checkpoint taken mid-rebuild can embed the latest one.
   OnlineRebuilder(BTree* tree, TransactionManager* tm, BufferManager* bm,
-                  LogManager* log, LockManager* locks, SpaceManager* space);
+                  LogManager* log, LockManager* locks, SpaceManager* space,
+                  RebuildJournal* journal = nullptr);
 
   // Runs a full online rebuild of the index. Concurrent inserts, deletes
   // and scans are allowed throughout; only the pages of the current top
@@ -66,6 +70,7 @@ class OnlineRebuilder {
   LogManager* const log_;
   LockManager* const locks_;
   SpaceManager* const space_;
+  RebuildJournal* const journal_;
 };
 
 }  // namespace oir

@@ -1,0 +1,53 @@
+#ifndef OIR_CORE_REBUILD_JOURNAL_H_
+#define OIR_CORE_REBUILD_JOURNAL_H_
+
+// Latest-durable-rebuild-progress mailbox between the online rebuilder and
+// the checkpointer. The rebuilder publishes every progress record it
+// appends (and clears the entry on completion); Db::Checkpoint embeds the
+// latest one into the kCheckpoint payload so a checkpoint taken mid-rebuild
+// keeps the resume cursor recoverable even after the log prefix holding the
+// progress records is truncated. After restart recovery the pending resume
+// state is re-published here, so a post-recovery checkpoint taken before
+// the rebuild is resumed still carries it.
+
+#include <string>
+
+#include "sync/mutex.h"
+#include "wal/log_record.h"
+
+namespace oir {
+
+class RebuildJournal {
+ public:
+  // Publishes `info` as the latest progress (rebuilder thread / recovery).
+  void Publish(const RebuildProgressInfo& info) {
+    MutexLock l(mu_);
+    valid_ = true;
+    info_ = info;
+  }
+
+  // Drops the entry: the rebuild completed (no resume needed).
+  void Clear() {
+    MutexLock l(mu_);
+    valid_ = false;
+    info_ = RebuildProgressInfo();
+  }
+
+  // Copies the latest progress into *info; false when no rebuild is
+  // pending (checkpoints then embed an inactive payload).
+  bool Latest(RebuildProgressInfo* info) const {
+    MutexLock l(mu_);
+    if (!valid_) return false;
+    *info = info_;
+    return true;
+  }
+
+ private:
+  mutable Mutex mu_;
+  bool valid_ OIR_GUARDED_BY(mu_) = false;
+  RebuildProgressInfo info_ OIR_GUARDED_BY(mu_);
+};
+
+}  // namespace oir
+
+#endif  // OIR_CORE_REBUILD_JOURNAL_H_

@@ -24,6 +24,11 @@ struct RebuildProgress {
   uint64_t copy_us = 0;            // cumulative per-phase wall time
   uint64_t propagate_us = 0;
   uint64_t flush_us = 0;
+  bool resumed = false;            // run continued a crashed rebuild; the
+                                   // counters above include the prior run
+  uint64_t progress_records = 0;   // durable progress records appended
+  uint64_t throttle_pauses = 0;    // admission-control pauses taken
+  uint64_t throttle_us = 0;        // cumulative attributed pause time
 };
 
 class RebuildProgressTracker {
@@ -41,6 +46,10 @@ class RebuildProgressTracker {
     copy_us.store(0, std::memory_order_relaxed);
     propagate_us.store(0, std::memory_order_relaxed);
     flush_us.store(0, std::memory_order_relaxed);
+    resumed.store(false, std::memory_order_relaxed);
+    progress_records.store(0, std::memory_order_relaxed);
+    throttle_pauses.store(0, std::memory_order_relaxed);
+    throttle_us.store(0, std::memory_order_relaxed);
   }
 
   void Begin(uint64_t total_estimate) {
@@ -66,6 +75,10 @@ class RebuildProgressTracker {
     p.copy_us = copy_us.load(std::memory_order_relaxed);
     p.propagate_us = propagate_us.load(std::memory_order_relaxed);
     p.flush_us = flush_us.load(std::memory_order_relaxed);
+    p.resumed = resumed.load(std::memory_order_relaxed);
+    p.progress_records = progress_records.load(std::memory_order_relaxed);
+    p.throttle_pauses = throttle_pauses.load(std::memory_order_relaxed);
+    p.throttle_us = throttle_us.load(std::memory_order_relaxed);
     return p;
   }
 
@@ -81,6 +94,10 @@ class RebuildProgressTracker {
   std::atomic<uint64_t> copy_us{0};
   std::atomic<uint64_t> propagate_us{0};
   std::atomic<uint64_t> flush_us{0};
+  std::atomic<bool> resumed{false};
+  std::atomic<uint64_t> progress_records{0};
+  std::atomic<uint64_t> throttle_pauses{0};
+  std::atomic<uint64_t> throttle_us{0};
 };
 
 }  // namespace oir::obs

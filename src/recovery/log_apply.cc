@@ -117,6 +117,11 @@ Status RedoRecord(ApplyContext* ctx, const LogRecord& rec) {
     case LogType::kAbortTxn:
     case LogType::kEndTxn:
     case LogType::kNtaEnd:
+    case LogType::kCheckpoint:
+    case LogType::kRebuildProgress:
+      // Bookkeeping records: never applied to a page. Checkpoints seed the
+      // analysis pass and rebuild-progress records arm the resume cursor —
+      // both are consumed by RecoveryManager, not here.
       return Status::OK();
 
     case LogType::kAlloc: {
@@ -361,6 +366,8 @@ Status UndoRecord(ApplyContext* ctx, TxnContext* txn, const LogRecord& rec,
     case LogType::kNtaEnd:
     case LogType::kFreePage:
     case LogType::kKeyCopyUndo:
+    case LogType::kCheckpoint:
+    case LogType::kRebuildProgress:
     case LogType::kInvalid:
       break;
   }

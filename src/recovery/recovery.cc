@@ -39,6 +39,7 @@ std::string RecoveryStats::ToJson() const {
 Status RecoveryManager::AnalyzeAndRedo(RecoveryStats* stats) {
   ctx_.space->ResetForRecovery();
   losers_.clear();
+  rebuild_resume_ = RebuildResumeState();
 
   // Start from the last durable checkpoint when one exists: its payload
   // seeds the page-state map and the loser table, and the scan begins at
@@ -75,6 +76,13 @@ Status RecoveryManager::AnalyzeAndRedo(RecoveryStats* stats) {
     }
     scan_from = ckpt.old_page_lsn;  // the checkpoint's scan-start LSN
     if (scan_from < ctx_.log->head_lsn()) scan_from = ctx_.log->head_lsn();
+    // A checkpoint taken mid-rebuild carries the latest durable progress;
+    // later kRebuildProgress records in the scan supersede it.
+    if (ckpt.rebuild_progress.active) {
+      rebuild_resume_.pending = true;
+      rebuild_resume_.progress = ckpt.rebuild_progress;
+      rebuild_resume_.lsn = kInvalidLsn;
+    }
   }
 
   for (LogManager::Iterator it = ctx_.log->Scan(scan_from);
@@ -88,6 +96,16 @@ Status RecoveryManager::AnalyzeAndRedo(RecoveryStats* stats) {
       } else {
         losers_[rec.txn_id] = rec.lsn;
       }
+    }
+    if (rec.type == LogType::kRebuildProgress) {
+      // A progress record is written only after the work it describes
+      // committed, so the newest durable one is always a safe resume
+      // point. done/!active clears the pending state (the rebuild ran to
+      // completion before the crash).
+      rebuild_resume_.pending =
+          rec.rebuild_progress.active && !rec.rebuild_progress.done;
+      rebuild_resume_.progress = rec.rebuild_progress;
+      rebuild_resume_.lsn = rec.lsn;
     }
     if (rec.IsPageUpdate() || rec.type == LogType::kAlloc ||
         rec.type == LogType::kDealloc || rec.type == LogType::kFreePage) {

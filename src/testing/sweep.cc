@@ -45,6 +45,11 @@ struct WorkloadRun {
   // while "zombie-insert" is a missed undo. Writer-thread only.
   std::map<uint64_t, const char*> history;
   std::vector<std::unique_ptr<Transaction>> zombies;
+  // Outcome of the concurrent online rebuild: an error status is expected
+  // whenever the power cut hits it; `rebuild_result` is filled in
+  // incrementally, so its transaction count is valid even on failure.
+  Status rebuild_status;
+  RebuildResult rebuild_result;
 };
 
 Status OpenDb(const SweepWorkloadOptions& opts, WorkloadRun* run) {
@@ -211,11 +216,12 @@ void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
     r.ntasize = opts.rebuild_ntasize;
     r.xactsize = opts.rebuild_xactsize;
     r.io_pages = 2;
-    RebuildResult res;
+    r.progress_interval_txns = opts.rebuild_progress_interval;
+    r.max_foreground_degradation_pct = opts.rebuild_throttle_pct;
     // Error status expected whenever the fault fires mid-rebuild; the
-    // rebuild transaction becomes a loser for recovery to clean up.
-    Status ignored = index->RebuildOnline(r, &res);
-    (void)ignored;
+    // rebuild transaction becomes a loser for recovery to clean up, and
+    // oracle 4 checks the durable resume point it left behind.
+    run->rebuild_status = index->RebuildOnline(r, &run->rebuild_result);
   });
 
   std::thread reader([&]() {
@@ -242,9 +248,14 @@ void RunThreads(const SweepWorkloadOptions& opts, WorkloadRun* run) {
 
 std::string ReproLine(const SweepWorkloadOptions& opts,
                       const std::string& point, uint64_t hit) {
+  // Every knob that shapes the workload appears here; the sweep tests read
+  // them all back from the environment, so the printed command replays the
+  // failing iteration exactly.
   std::ostringstream os;
-  os << "repro: OIR_TEST_SEED=" << opts.seed << " OIR_CRASH_POINT=" << point
-     << "#" << hit << " ./crash_sweep_test";
+  os << "repro: OIR_TEST_SEED=" << opts.seed
+     << " OIR_SWEEP_PROGRESS_INTERVAL=" << opts.rebuild_progress_interval
+     << " OIR_SWEEP_THROTTLE=" << opts.rebuild_throttle_pct
+     << " OIR_CRASH_POINT=" << point << "#" << hit << " ./crash_sweep_test";
   return os.str();
 }
 
@@ -260,6 +271,60 @@ Status Fail(const SweepWorkloadOptions& opts, const std::string& point,
     os << "; flight record: " << bundle;
   }
   return Status::Corruption(os.str());
+}
+
+// Exact-state oracle: a full scan of `run.db` equals the committed model.
+// On mismatch the symmetric difference is reported, each key annotated
+// with its workload disposition — an extra key last seen as
+// "committed-delete" is a lost redo; one last seen as "zombie-insert" is a
+// missed undo.
+Status ExactStateOracle(const SweepWorkloadOptions& opts,
+                        const std::string& point, uint64_t hit,
+                        const WorkloadRun& run, const char* when) {
+  Db* db = run.db.get();
+  auto txn = db->BeginTxn();
+  auto cur = db->index()->NewCursor(txn.get());
+  std::set<uint64_t> scanned;
+  bool malformed = false;
+  Status s = cur->SeekToFirst();
+  while (s.ok() && cur->Valid()) {
+    uint64_t rid = cur->rid();
+    if (cur->user_key().ToString() != SweepKey(rid)) malformed = true;
+    scanned.insert(rid);
+    s = cur->Next();
+  }
+  if (!s.ok()) {
+    return Fail(opts, point, hit, std::string(when) + " scan: " + s.ToString());
+  }
+  if (malformed || scanned != run.committed) {
+    auto disposition = [&run](uint64_t id) -> std::string {
+      auto it = run.history.find(id);
+      return it == run.history.end() ? "never-touched" : it->second;
+    };
+    std::ostringstream why;
+    why << when << " tree != committed model (" << scanned.size()
+        << " scanned vs " << run.committed.size() << " committed)";
+    if (malformed) why << "; key/rid mismatch seen";
+    int listed = 0;
+    for (uint64_t id : scanned) {
+      if (run.committed.count(id)) continue;
+      why << "; extra " << id << " [" << disposition(id) << "]";
+      if (++listed >= 8) break;
+    }
+    for (uint64_t id : run.committed) {
+      if (scanned.count(id)) continue;
+      why << "; missing " << id << " [" << disposition(id) << "]";
+      if (++listed >= 16) break;
+    }
+    return Fail(opts, point, hit, why.str());
+  }
+  cur.reset();
+  s = db->Commit(txn.get());
+  if (!s.ok()) {
+    return Fail(opts, point, hit,
+                std::string(when) + " scan txn commit: " + s.ToString());
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -326,54 +391,10 @@ Status RunCrashIteration(const SweepWorkloadOptions& opts,
     return Fail(opts, point, hit, "invariants: " + s.ToString());
   }
 
-  // Oracle 2: the recovered tree holds exactly the committed operations.
-  // On mismatch the full symmetric difference is reported, each key
-  // annotated with its workload disposition — an extra key last seen as
-  // "committed-delete" is a lost redo; one last seen as "zombie-insert" is
-  // a missed undo.
-  {
-    auto txn = db->BeginTxn();
-    auto cur = db->index()->NewCursor(txn.get());
-    std::set<uint64_t> scanned;
-    bool malformed = false;
-    s = cur->SeekToFirst();
-    while (s.ok() && cur->Valid()) {
-      uint64_t rid = cur->rid();
-      if (cur->user_key().ToString() != SweepKey(rid)) malformed = true;
-      scanned.insert(rid);
-      s = cur->Next();
-    }
-    if (!s.ok()) {
-      return Fail(opts, point, hit, "post-recovery scan: " + s.ToString());
-    }
-    if (malformed || scanned != run.committed) {
-      auto disposition = [&run](uint64_t id) -> std::string {
-        auto it = run.history.find(id);
-        return it == run.history.end() ? "never-touched" : it->second;
-      };
-      std::ostringstream why;
-      why << "recovered tree != committed model (" << scanned.size()
-          << " scanned vs " << run.committed.size() << " committed)";
-      if (malformed) why << "; key/rid mismatch seen";
-      int listed = 0;
-      for (uint64_t id : scanned) {
-        if (run.committed.count(id)) continue;
-        why << "; extra " << id << " [" << disposition(id) << "]";
-        if (++listed >= 8) break;
-      }
-      for (uint64_t id : run.committed) {
-        if (scanned.count(id)) continue;
-        why << "; missing " << id << " [" << disposition(id) << "]";
-        if (++listed >= 16) break;
-      }
-      return Fail(opts, point, hit, why.str());
-    }
-    cur.reset();
-    s = db->Commit(txn.get());
-    if (!s.ok()) {
-      return Fail(opts, point, hit, "scan txn commit: " + s.ToString());
-    }
-  }
+  // Oracle 2: the recovered tree holds exactly the committed operations
+  // (re-checked by oracle 4 after a resumed rebuild, hence the helper).
+  OIR_RETURN_IF_ERROR(
+      ExactStateOracle(opts, point, hit, run, "post-recovery"));
 
   // Oracle 3: the database is live — it accepts new committed work.
   {
@@ -385,6 +406,74 @@ Status RunCrashIteration(const SweepWorkloadOptions& opts,
     if (!s.ok()) {
       return Fail(opts, point, hit, "probe transaction: " + s.ToString());
     }
+  }
+
+  // Oracle 4: resume correctness. A completed rebuild's done record is
+  // flushed before RebuildOnline returns OK, so it must leave nothing
+  // pending; a crashed one with committed work must be re-armed from a
+  // durable cursor — never from zero — and resuming it must converge to
+  // the same committed state.
+  result->rebuild_crashed = !run.rebuild_status.ok();
+  result->rebuild_committed_txns = run.rebuild_result.transactions;
+  if (!result->rebuild_crashed && db->has_pending_rebuild()) {
+    return Fail(opts, point, hit,
+                "completed rebuild left a pending resume state");
+  }
+  if (result->rebuild_crashed && result->triggered &&
+      opts.rebuild_progress_interval > 0 &&
+      run.rebuild_result.transactions > 0 && !db->has_pending_rebuild()) {
+    std::ostringstream why;
+    why << "crashed rebuild had " << run.rebuild_result.transactions
+        << " committed transactions but recovery armed no resume point — "
+           "a restart would redo everything from zero";
+    return Fail(opts, point, hit, why.str());
+  }
+  if (db->has_pending_rebuild()) {
+    const RebuildProgressInfo before = db->pending_rebuild().progress;
+    // Each progress record rides ahead of its transaction's commit record
+    // in the WAL, so the flush that committed transaction N also made
+    // record N durable: the durable resume point can never trail the
+    // committed count. (It may lead it — a record whose own commit died
+    // can still reach disk via a concurrent commit's prefix flush, and its
+    // NTA-protected copy work survives with it.)
+    if (result->triggered && opts.rebuild_progress_interval == 1 &&
+        before.transactions < run.rebuild_result.transactions) {
+      std::ostringstream why;
+      why << "durable resume point lost work: progress record holds "
+          << before.transactions << " transactions but the rebuild committed "
+          << run.rebuild_result.transactions;
+      return Fail(opts, point, hit, why.str());
+    }
+    if (before.transactions > 0 &&
+        (!before.has_cursor || before.cursor.empty())) {
+      return Fail(opts, point, hit,
+                  "resume point with committed transactions carries no "
+                  "cursor — a resume would restart the copy from zero");
+    }
+    RebuildOptions r;
+    r.ntasize = opts.rebuild_ntasize;
+    r.xactsize = opts.rebuild_xactsize;
+    r.io_pages = 2;
+    r.progress_interval_txns = opts.rebuild_progress_interval;
+    r.max_foreground_degradation_pct = opts.rebuild_throttle_pct;
+    RebuildResult res;
+    s = db->ResumeRebuild(r, &res);
+    if (!s.ok()) {
+      return Fail(opts, point, hit, "resume rebuild: " + s.ToString());
+    }
+    if (!res.resumed) {
+      return Fail(opts, point, hit,
+                  "resumed rebuild did not report itself as resumed");
+    }
+    result->rebuild_resumed = true;
+    result->resumed_from_cursor = before.has_cursor && !before.cursor.empty();
+    s = CheckInvariants(db->tree(), db->space_manager(),
+                        db->buffer_manager());
+    if (!s.ok()) {
+      return Fail(opts, point, hit, "post-resume invariants: " + s.ToString());
+    }
+    OIR_RETURN_IF_ERROR(
+        ExactStateOracle(opts, point, hit, run, "post-resume"));
   }
 
   return Status::OK();

@@ -14,7 +14,8 @@
 // scan of the recovered tree, in addition to CheckInvariants() (oracle.h).
 //
 // Every failure message embeds a one-command reproduction:
-//   OIR_TEST_SEED=<seed> OIR_CRASH_POINT=<name>#<hit> ./crash_sweep_test
+//   OIR_TEST_SEED=<seed> OIR_SWEEP_PROGRESS_INTERVAL=<n> OIR_SWEEP_THROTTLE=<p>
+//   OIR_CRASH_POINT=<name>#<hit> ./crash_sweep_test
 
 #include <cstdint>
 #include <string>
@@ -49,6 +50,16 @@ struct SweepWorkloadOptions {
   // Take one fuzzy checkpoint midway through the writer's run (covers the
   // ckpt.* points and recovery-from-checkpoint).
   bool checkpoint_midway = true;
+
+  // Rebuild progress records every N committed rebuild transactions (0
+  // disables them — the pre-resume behavior). Emitted in every repro line
+  // and read back from OIR_SWEEP_PROGRESS_INTERVAL by the sweep tests.
+  uint32_t rebuild_progress_interval = 1;
+
+  // Admission-control knob for the concurrent rebuild (RebuildOptions::
+  // max_foreground_degradation_pct; 0 = unthrottled). Emitted in every
+  // repro line and read back from OIR_SWEEP_THROTTLE by the sweep tests.
+  uint32_t rebuild_throttle_pct = 0;
 };
 
 // Runs the workload to completion with crash-point counting enabled and no
@@ -64,6 +75,11 @@ Status EnumerateCrashPoints(const SweepWorkloadOptions& opts,
 struct CrashIterationResult {
   bool triggered = false;
   uint64_t committed_keys = 0;  // model size the oracle verified against
+  // Resume oracle: disposition of the concurrent online rebuild.
+  bool rebuild_crashed = false;         // the rebuild died mid-flight
+  uint64_t rebuild_committed_txns = 0;  // its committed transactions
+  bool rebuild_resumed = false;         // post-recovery ResumeRebuild ran OK
+  bool resumed_from_cursor = false;     // ...from a durable non-empty cursor
   RecoveryStats recovery;
 };
 
@@ -74,6 +90,11 @@ struct CrashIterationResult {
 //      deallocated limbo pages, space map and tree agree.
 //   2. Exact state: a full scan equals the committed-operations model.
 //   3. Liveness: the recovered database accepts a probe transaction.
+//   4. Resume correctness: a rebuild that died with >= 1 committed
+//      transaction must be re-armed from a durable cursor at most one
+//      transaction behind its commit count (never from zero); resuming it
+//      must succeed and re-establish oracles 1 and 2. A rebuild that
+//      completed must leave nothing pending.
 // Returns non-OK on any oracle failure, with the repro command embedded in
 // the message. Also recovers (and checks) the no-crash case when the armed
 // point never fires.

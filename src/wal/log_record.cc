@@ -5,6 +5,46 @@
 
 namespace oir {
 
+namespace {
+
+void EncodeRebuildProgress(std::string* dst, const RebuildProgressInfo& rp) {
+  uint8_t flags = 0;
+  if (rp.active) flags |= 1;
+  if (rp.done) flags |= 2;
+  if (rp.has_cursor) flags |= 4;
+  dst->push_back(static_cast<char>(flags));
+  PutLengthPrefixedSlice(dst, rp.cursor);
+  PutFixed64(dst, rp.leaves_rebuilt);
+  PutFixed64(dst, rp.top_actions);
+  PutFixed64(dst, rp.transactions);
+  PutFixed32(dst, rp.new_page_hwm);
+}
+
+bool DecodeRebuildProgress(Slice* input, RebuildProgressInfo* rp) {
+  if (input->empty()) return false;
+  uint8_t flags = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  rp->active = (flags & 1) != 0;
+  rp->done = (flags & 2) != 0;
+  rp->has_cursor = (flags & 4) != 0;
+  Slice cursor;
+  if (!GetLengthPrefixedSlice(input, &cursor)) return false;
+  rp->cursor = cursor.ToString();
+  uint64_t v64;
+  uint32_t v32;
+  if (!GetFixed64(input, &v64)) return false;
+  rp->leaves_rebuilt = v64;
+  if (!GetFixed64(input, &v64)) return false;
+  rp->top_actions = v64;
+  if (!GetFixed64(input, &v64)) return false;
+  rp->transactions = v64;
+  if (!GetFixed32(input, &v32)) return false;
+  rp->new_page_hwm = v32;
+  return true;
+}
+
+}  // namespace
+
 const char* LogTypeName(LogType t) {
   switch (t) {
     case LogType::kInvalid:
@@ -47,6 +87,8 @@ const char* LogTypeName(LogType t) {
       return "KeyCopyUndo";
     case LogType::kCheckpoint:
       return "Checkpoint";
+    case LogType::kRebuildProgress:
+      return "RebuildProgress";
   }
   return "Unknown";
 }
@@ -135,6 +177,10 @@ void LogRecord::EncodeTo(std::string* dst) const {
         PutFixed64(dst, t.txn_id);
         PutFixed64(dst, t.last_lsn);
       }
+      EncodeRebuildProgress(dst, rebuild_progress);
+      break;
+    case LogType::kRebuildProgress:
+      EncodeRebuildProgress(dst, rebuild_progress);
       break;
     default:
       break;  // control records have no payload
@@ -265,8 +311,16 @@ Status LogRecord::DecodeFrom(Slice input, LogRecord* rec) {
         t.last_lsn = v64;
         rec->ckpt_txns.push_back(t);
       }
+      if (!DecodeRebuildProgress(&input, &rec->rebuild_progress)) {
+        return Status::Corruption("ckpt rebuild progress");
+      }
       break;
     }
+    case LogType::kRebuildProgress:
+      if (!DecodeRebuildProgress(&input, &rec->rebuild_progress)) {
+        return Status::Corruption("rebuild progress");
+      }
+      break;
     default:
       break;
   }

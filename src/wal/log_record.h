@@ -72,6 +72,13 @@ enum class LogType : uint8_t {
   // the active-transaction table. Restart recovery begins its scan here
   // instead of at the log head.
   kCheckpoint = 19,
+  // Rebuild progress record: the online rebuilder's durable copy cursor
+  // (largest composite key whose leaf has been rebuilt by a COMMITTED
+  // rebuild transaction), appended outside any transaction chain after
+  // each rebuild-transaction commit. Recovery re-arms a crashed rebuild
+  // from the last durable one instead of restarting the copy from zero.
+  // Pure bookkeeping: never redone against a page, never undone.
+  kRebuildProgress = 20,
 };
 
 const char* LogTypeName(LogType t);
@@ -84,6 +91,28 @@ const char* LogTypeName(LogType t);
 struct CheckpointTxn {
   TxnId txn_id = kInvalidTxnId;
   Lsn last_lsn = kInvalidLsn;
+};
+
+// Payload of a kRebuildProgress record, also embedded in kCheckpoint so a
+// checkpoint taken mid-rebuild carries the latest durable cursor even after
+// the log prefix holding the progress records is truncated.
+struct RebuildProgressInfo {
+  bool active = false;  // a rebuild was in flight when this was written
+  bool done = false;    // final record: the rebuild ran to completion
+  // Copy cursor: largest composite key copied by a committed rebuild
+  // transaction. Meaningful only when has_cursor — an active rebuild that
+  // has not committed a transaction yet resumes from the beginning.
+  bool has_cursor = false;
+  std::string cursor;
+  // Carried counters so a resumed rebuild's progress tracker continues
+  // from where the crashed run left off instead of re-starting at zero.
+  uint64_t leaves_rebuilt = 0;
+  uint64_t top_actions = 0;
+  uint64_t transactions = 0;
+  // Side-file high-water mark: highest page id the rebuild has allocated
+  // for new leaves so far (diagnostics; the pages themselves are covered
+  // by ordinary alloc/format logging).
+  PageId new_page_hwm = kInvalidPageId;
 };
 
 struct KeyCopyEntry {
@@ -122,6 +151,9 @@ struct LogRecord {
   std::vector<CheckpointTxn> ckpt_txns;
   PageId ckpt_end_page = kInvalidPageId;  // space high-water mark
   TxnId ckpt_next_txn_id = kInvalidTxnId;
+  // kRebuildProgress payload; also embedded in kCheckpoint (active=false
+  // there means no rebuild was in flight at checkpoint time).
+  RebuildProgressInfo rebuild_progress;
   PageId link_old = kInvalidPageId;  // kSetPrevLink/kSetNextLink/kMetaRoot
   PageId link_new = kInvalidPageId;
   PageId prev_page = kInvalidPageId;  // kFormatPage initial links

@@ -26,9 +26,26 @@ using fault::CrashIterationResult;
 using fault::CrashPointRegistry;
 using fault::SweepWorkloadOptions;
 
+// Reads a non-negative integer knob from the environment; `fallback` when
+// unset or malformed.
+uint32_t EnvKnob(const char* name, uint32_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<uint32_t>(parsed);
+}
+
 SweepWorkloadOptions SweepOptions() {
   SweepWorkloadOptions opts;
   opts.seed = test::TestSeed(1);
+  // Both knobs appear in every repro line the sweep prints, so a failing
+  // iteration replays with the exact same progress/throttle shape.
+  opts.rebuild_progress_interval =
+      EnvKnob("OIR_SWEEP_PROGRESS_INTERVAL", opts.rebuild_progress_interval);
+  opts.rebuild_throttle_pct =
+      EnvKnob("OIR_SWEEP_THROTTLE", opts.rebuild_throttle_pct);
   return opts;
 }
 
@@ -91,6 +108,58 @@ TEST(CrashSweepTest, RecoveryOracleHoldsAtEveryCrashPoint) {
   EXPECT_GE(triggered_names.size(), 40u)
       << "only " << triggered << "/" << iterations
       << " iterations triggered their armed crash point";
+}
+
+// Resume-correctness sweep (the tentpole's oracle 4, focused): crash at
+// every rebuild-phase crash point — every hit ordinal, not just first and
+// midpoint — and require that recovery re-arms the rebuild from its last
+// durable progress record. RunCrashIteration itself fails any iteration
+// where a rebuild that committed work would restart from zero; this test
+// additionally checks the aggregate: the sweep genuinely exercised crashed
+// rebuilds, resumes, and cursor-carrying resume points.
+TEST(CrashSweepTest, RebuildCrashesAlwaysResumeFromDurableProgress) {
+  SweepWorkloadOptions opts = SweepOptions();
+  // The default workload's tree is small enough that the rebuild is a
+  // single transaction — there is no mid-rebuild progress to preserve.
+  // Give the rebuild a real middle: a deeper preload and smaller rebuild
+  // transactions yield ~5 committed rebuild transactions, so most crash
+  // ordinals land between progress records.
+  opts.preload_keys = 1400;
+  opts.writer_ops = 120;
+  opts.rebuild_xactsize = 4;
+  OIR_SCOPED_SEED_TRACE(opts.seed);
+  std::vector<std::pair<std::string, uint64_t>> points;
+  ASSERT_OK(fault::EnumerateCrashPoints(opts, &points));
+
+  int crashed_rebuilds = 0;
+  int resumed = 0;
+  int resumed_from_cursor = 0;
+  int restarted_from_zero = 0;
+  for (const auto& [name, hits] : points) {
+    if (name.rfind("rebuild.", 0) != 0) continue;
+    for (uint64_t hit = 0; hit < hits; ++hit) {
+      CrashIterationResult result;
+      EXPECT_OK(fault::RunCrashIteration(opts, name, hit, &result));
+      if (!result.triggered) continue;
+      if (result.rebuild_crashed) ++crashed_rebuilds;
+      if (result.rebuild_resumed) {
+        ++resumed;
+        if (result.resumed_from_cursor) {
+          ++resumed_from_cursor;
+        } else if (result.rebuild_committed_txns > 0) {
+          // A cursor-less resume is legitimate only before the first
+          // committed transaction (nothing to preserve yet).
+          ++restarted_from_zero;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(restarted_from_zero, 0);
+  EXPECT_GT(crashed_rebuilds, 0);
+  EXPECT_GT(resumed, 0);
+  EXPECT_GT(resumed_from_cursor, 0)
+      << "no iteration resumed from a non-empty durable cursor — the sweep "
+         "never exercised the interesting case";
 }
 
 // The one-command reproduction path the sweep prints on failure: when

@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "core/db.h"
 #include "core/index.h"
+#include "obs/waitstate.h"
+#include "testing/crash_point.h"
 #include "testing/oracle.h"
 #include "tests/test_util.h"
+#include "wal/log_manager.h"
 
 namespace oir {
 namespace {
@@ -341,6 +346,297 @@ TEST(RebuildTest, DeepTreeRebuild) {
   ASSERT_OK(db->index()->RebuildOnline(opts, &res));
   test::ExpectTreeContains(db.get(), EvenIds(12000));
   ExpectInvariants(db.get());
+}
+
+// ------------------------------------------------------ resume + throttle
+
+// Counts the rebuild transactions a full, uninterrupted rebuild takes on
+// an identically-built index (the "from zero" baseline for resume tests).
+uint64_t FullRebuildTxns(uint64_t n, const RebuildOptions& opts) {
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), n);
+  RebuildResult res;
+  Status s = db->index()->RebuildOnline(opts, &res);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return res.transactions;
+}
+
+RebuildOptions SmallTxnOptions() {
+  RebuildOptions opts;
+  opts.ntasize = 4;
+  opts.xactsize = 8;
+  opts.io_pages = 2;
+  return opts;
+}
+
+TEST(RebuildResumeTest, CrashMidRebuildResumesFromDurableCursor) {
+  const uint64_t kN = 2400;
+  RebuildOptions opts = SmallTxnOptions();
+  const uint64_t full_txns = FullRebuildTxns(kN, opts);
+  ASSERT_GE(full_txns, 5u);  // enough transactions to crash in the middle
+
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), kN);
+
+  // Fail the WAL flush at the third rebuild commit: transactions 1 and 2
+  // commit durably (each followed by a flushed progress record); the third
+  // dies mid-commit, exactly like a power cut there.
+  auto& reg = fault::CrashPointRegistry::Get();
+  fault::CrashPointRegistry::SetEnabled(true);
+  reg.ResetCounts();
+  LogManager* log = db->log_manager();
+  reg.Arm("rebuild.txn.commit", /*hit_index=*/2,
+          [log] { log->SetFailFlushes(true); });
+  RebuildResult crashed;
+  Status s = db->index()->RebuildOnline(opts, &crashed);
+  EXPECT_FALSE(s.ok());  // the rebuild died at the injected fault
+  EXPECT_TRUE(reg.triggered());
+  reg.Disarm();
+  fault::CrashPointRegistry::SetEnabled(false);
+  log->SetFailFlushes(false);
+
+  RecoveryStats rs;
+  ASSERT_OK(db->CrashAndRecover(&rs));
+
+  // Recovery re-armed the rebuild from the last durable progress record —
+  // two committed transactions, cursor present — instead of from zero.
+  // (Copied, not referenced: ResumeRebuild clears the pending state.)
+  ASSERT_TRUE(db->has_pending_rebuild());
+  const RebuildProgressInfo p = db->pending_rebuild().progress;
+  EXPECT_TRUE(p.has_cursor);
+  EXPECT_FALSE(p.cursor.empty());
+  EXPECT_EQ(p.transactions, 2u);
+  EXPECT_GT(p.leaves_rebuilt, 0u);
+
+  RebuildResult resumed;
+  ASSERT_OK(db->ResumeRebuild(opts, &resumed));
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.resume_cursor, p.cursor);
+  EXPECT_GT(resumed.transactions, 0u);
+  // Strictly less work than a from-zero rebuild: the two committed
+  // transactions were not redone.
+  EXPECT_LT(resumed.transactions, full_txns);
+  EXPECT_FALSE(db->has_pending_rebuild());
+
+  test::ExpectTreeContains(db.get(), EvenIds(kN));
+  ExpectInvariants(db.get());
+}
+
+TEST(RebuildResumeTest, CompletedRebuildLeavesNothingPending) {
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), 400);
+  RebuildOptions opts = SmallTxnOptions();
+  RebuildResult res;
+  ASSERT_OK(db->index()->RebuildOnline(opts, &res));
+  EXPECT_GT(res.progress_records, res.transactions);  // begin + per-txn + done
+
+  // The done record survives the crash, so recovery arms nothing.
+  RecoveryStats rs;
+  ASSERT_OK(db->CrashAndRecover(&rs));
+  EXPECT_FALSE(db->has_pending_rebuild());
+  RebuildResult resumed;
+  EXPECT_TRUE(db->ResumeRebuild(opts, &resumed).IsInvalidArgument());
+  test::ExpectTreeContains(db.get(), EvenIds(400));
+  ExpectInvariants(db.get());
+}
+
+TEST(RebuildResumeTest, ProgressLoggingAblationWritesNoRecords) {
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), 400);
+  RebuildOptions opts = SmallTxnOptions();
+  opts.progress_interval_txns = 0;  // pre-resume behavior
+  RebuildResult res;
+  ASSERT_OK(db->index()->RebuildOnline(opts, &res));
+  EXPECT_EQ(res.progress_records, 0u);
+  RecoveryStats rs;
+  ASSERT_OK(db->CrashAndRecover(&rs));
+  EXPECT_FALSE(db->has_pending_rebuild());
+  test::ExpectTreeContains(db.get(), EvenIds(400));
+}
+
+TEST(RebuildResumeTest, CheckpointCarriesResumePointAcrossTruncation) {
+  const uint64_t kN = 1200;
+  RebuildOptions opts = SmallTxnOptions();
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), kN);
+
+  auto& reg = fault::CrashPointRegistry::Get();
+  fault::CrashPointRegistry::SetEnabled(true);
+  reg.ResetCounts();
+  LogManager* log = db->log_manager();
+  reg.Arm("rebuild.txn.commit", /*hit_index=*/2,
+          [log] { log->SetFailFlushes(true); });
+  RebuildResult crashed;
+  EXPECT_FALSE(db->index()->RebuildOnline(opts, &crashed).ok());
+  reg.Disarm();
+  fault::CrashPointRegistry::SetEnabled(false);
+  log->SetFailFlushes(false);
+
+  RecoveryStats rs;
+  ASSERT_OK(db->CrashAndRecover(&rs));
+  ASSERT_TRUE(db->has_pending_rebuild());
+  const std::string cursor = db->pending_rebuild().progress.cursor;
+
+  // Checkpoint + truncate discards the log prefix holding the progress
+  // records; the checkpoint's embedded copy (fed from the journal, which
+  // recovery re-armed) must keep the resume point alive across another
+  // restart.
+  ASSERT_OK(db->CheckpointAndTruncate());
+  ASSERT_OK(db->CrashAndRecover(&rs));
+  ASSERT_TRUE(db->has_pending_rebuild());
+  EXPECT_TRUE(db->pending_rebuild().progress.has_cursor);
+  EXPECT_EQ(db->pending_rebuild().progress.cursor, cursor);
+  EXPECT_EQ(db->pending_rebuild().progress.transactions, 2u);
+
+  RebuildResult resumed;
+  ASSERT_OK(db->ResumeRebuild(opts, &resumed));
+  EXPECT_TRUE(resumed.resumed);
+  test::ExpectTreeContains(db.get(), EvenIds(kN));
+  ExpectInvariants(db.get());
+}
+
+// Satellite regression: a long-running scan opened before the rebuild must
+// keep returning the correct remainder afterwards. The read-committed
+// cursor repositions by key when its page is rebuilt away; a bug here
+// would surface as skipped or duplicated rows after the cursor's leaf was
+// deallocated mid-scan.
+TEST(RebuildTest, LongRunningScanSurvivesRebuild) {
+  const uint64_t kN = 1500;
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), kN);
+  const std::set<uint64_t> ids = EvenIds(kN);
+
+  auto txn = db->BeginTxn();
+  auto cur = db->index()->NewCursor(txn.get());
+  ASSERT_OK(cur->SeekToFirst());
+  std::vector<std::pair<std::string, RowId>> seen;
+  for (size_t i = 0; i < ids.size() / 2; ++i) {
+    ASSERT_TRUE(cur->Valid());
+    seen.emplace_back(cur->user_key().ToString(), cur->rid());
+    ASSERT_OK(cur->Next());
+  }
+  ASSERT_TRUE(cur->Valid());
+
+  // Rebuild everything out from under the paused scan.
+  RebuildOptions opts = SmallTxnOptions();
+  RebuildResult res;
+  ASSERT_OK(db->index()->RebuildOnline(opts, &res));
+  EXPECT_GT(res.top_actions, 0u);
+
+  while (cur->Valid()) {
+    seen.emplace_back(cur->user_key().ToString(), cur->rid());
+    ASSERT_OK(cur->Next());
+  }
+  ASSERT_OK(db->Commit(txn.get()));
+
+  // Exactly every row, in order, no skips or duplicates.
+  ASSERT_EQ(seen.size(), ids.size());
+  size_t i = 0;
+  for (uint64_t id : ids) {
+    EXPECT_EQ(seen[i].first, NumKey(id)) << "at " << i;
+    EXPECT_EQ(seen[i].second, id) << "at " << i;
+    ++i;
+  }
+  ExpectInvariants(db.get());
+}
+
+// Satellite soak: an aggressively-throttled rebuild under live foreground
+// traffic must (a) still complete, (b) actually engage the admission
+// controller, (c) attribute its pauses as throttled time in the wait
+// profile, and (d) leave foreground p99 within a generous sanity bound
+// (the strict 10%-degradation claim is measured by bench_resume_throttle;
+// this test only guards against outright starvation). Seeded via
+// OIR_TEST_SEED.
+TEST(RebuildThrottleTest, ThrottledSoakCompletesAndAttributesPauses) {
+  const uint64_t seed = test::TestSeed(17);
+  OIR_SCOPED_SEED_TRACE(seed);
+  const uint64_t kN = 2500;
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), kN);
+
+  obs::WaitProfiler::Reset();
+  obs::WaitProfiler::SetEnabled(true);
+
+  // Foreground: seeded point lookups until the rebuild completes.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> fg_ops{0};
+  // One long read transaction: a per-batch commit would park the thread in
+  // the group-commit wait, leaving whole throttle sample intervals with no
+  // recorded foreground ops. Lookup's table lock is instant-duration, so
+  // nothing accumulates on the transaction.
+  std::thread fg([&] {
+    Random rnd(seed);
+    auto txn = db->BeginTxn();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t id = 2 * rnd.Uniform(kN);
+      bool found = false;
+      Status s = db->index()->Lookup(txn.get(), NumKey(id), id, &found);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      fg_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+    EXPECT_OK(db->Commit(txn.get()));
+  });
+  // The rebuild of a small in-memory index can finish in well under a
+  // millisecond; without this barrier its throttle samples could all land
+  // before the foreground thread ever records an op, and the controller
+  // would (correctly) never engage. Real rebuilds run for minutes — the
+  // race is an artifact of the test's scale.
+  while (fg_ops.load(std::memory_order_relaxed) < 64) {
+    std::this_thread::yield();
+  }
+
+  RebuildOptions opts = SmallTxnOptions();
+  // Aggressive knob: a 1 ns baseline means any measured foreground latency
+  // is over the 10% budget, so the controller must back off deterministically
+  // whenever the sampled interval saw foreground traffic.
+  opts.max_foreground_degradation_pct = 10;
+  opts.throttle_baseline_ns = 1;
+  RebuildResult res;
+  Status s = db->index()->RebuildOnline(opts, &res);
+  stop.store(true, std::memory_order_relaxed);
+  fg.join();
+  ASSERT_OK(s);
+
+  // The rebuild completed despite the throttle...
+  test::ExpectTreeContains(db.get(), EvenIds(kN));
+  ExpectInvariants(db.get());
+  // ...and the controller actually paced it.
+  EXPECT_GT(res.throttle_pauses, 0u);
+  EXPECT_GT(res.throttle_pause_us, 0u);
+
+  // Attribution: the rebuild op breakdown carries throttled time, and the
+  // stats export surfaces it under wait_profile.
+  bool saw_rebuild = false;
+  double read_p99 = 0.0;
+  for (const auto& b : obs::WaitProfiler::TakeSnapshot()) {
+    if (b.type == obs::OpType::kRebuild) {
+      saw_rebuild = true;
+      EXPECT_GT(
+          b.state_ns[static_cast<size_t>(obs::WaitState::kThrottled)], 0u);
+    }
+    if (b.type == obs::OpType::kRead) read_p99 = b.p99;
+  }
+  EXPECT_TRUE(saw_rebuild);
+  // Starvation guard: in-memory lookups must stay far under this even with
+  // the rebuild running; the bound is deliberately loose for CI noise.
+  EXPECT_GT(read_p99, 0.0);
+  EXPECT_LT(read_p99, 250.0 * 1000 * 1000);  // 250 ms
+  std::string json = db->DumpStatsJson();
+  EXPECT_NE(json.find("\"wait_profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"throttled\""), std::string::npos);
+
+  obs::WaitProfiler::SetEnabled(false);
+  obs::WaitProfiler::Reset();
+}
+
+TEST(RebuildThrottleTest, DisabledKnobNeverPauses) {
+  auto db = MakeDb();
+  BuildHalfFullIndex(db.get(), 400);
+  RebuildOptions opts = SmallTxnOptions();  // degradation knob left at 0
+  RebuildResult res;
+  ASSERT_OK(db->index()->RebuildOnline(opts, &res));
+  EXPECT_EQ(res.throttle_pauses, 0u);
+  EXPECT_EQ(res.throttle_pause_us, 0u);
 }
 
 // --------------------------------------------------------------- Figure 2

@@ -120,10 +120,70 @@ TEST(LogRecordTest, ControlRecordsRoundTrip) {
 
 TEST(LogRecordTest, TypeNamesAreDistinct) {
   std::set<std::string> names;
-  for (int t = 1; t <= 18; ++t) {
+  for (int t = 1; t <= 20; ++t) {
     names.insert(LogTypeName(static_cast<LogType>(t)));
   }
-  EXPECT_EQ(names.size(), 18u);
+  EXPECT_EQ(names.size(), 20u);
+}
+
+TEST(LogRecordTest, RebuildProgressRoundTrip) {
+  LogRecord rec;
+  rec.type = LogType::kRebuildProgress;
+  rec.rebuild_progress.active = true;
+  rec.rebuild_progress.done = false;
+  rec.rebuild_progress.has_cursor = true;
+  rec.rebuild_progress.cursor = std::string("key\0with-nul", 12);
+  rec.rebuild_progress.leaves_rebuilt = 123;
+  rec.rebuild_progress.top_actions = 45;
+  rec.rebuild_progress.transactions = 6;
+  rec.rebuild_progress.new_page_hwm = 789;
+  LogRecord out = RoundTrip(rec);
+  EXPECT_EQ(out.type, LogType::kRebuildProgress);
+  EXPECT_TRUE(out.rebuild_progress.active);
+  EXPECT_FALSE(out.rebuild_progress.done);
+  EXPECT_TRUE(out.rebuild_progress.has_cursor);
+  EXPECT_EQ(out.rebuild_progress.cursor, rec.rebuild_progress.cursor);
+  EXPECT_EQ(out.rebuild_progress.leaves_rebuilt, 123u);
+  EXPECT_EQ(out.rebuild_progress.top_actions, 45u);
+  EXPECT_EQ(out.rebuild_progress.transactions, 6u);
+  EXPECT_EQ(out.rebuild_progress.new_page_hwm, 789u);
+  EXPECT_FALSE(out.IsPageUpdate());
+
+  // The done marker round-trips as inactive.
+  LogRecord done;
+  done.type = LogType::kRebuildProgress;
+  done.rebuild_progress.done = true;
+  LogRecord dout = RoundTrip(done);
+  EXPECT_FALSE(dout.rebuild_progress.active);
+  EXPECT_TRUE(dout.rebuild_progress.done);
+}
+
+TEST(LogRecordTest, CheckpointEmbedsRebuildProgress) {
+  LogRecord ckpt;
+  ckpt.type = LogType::kCheckpoint;
+  ckpt.old_page_lsn = 4242;
+  ckpt.ckpt_allocated = {2, 3, 5};
+  ckpt.ckpt_deallocated = {8};
+  ckpt.ckpt_end_page = 16;
+  ckpt.ckpt_next_txn_id = 99;
+  ckpt.rebuild_progress.active = true;
+  ckpt.rebuild_progress.has_cursor = true;
+  ckpt.rebuild_progress.cursor = "mid-rebuild-cursor";
+  ckpt.rebuild_progress.leaves_rebuilt = 31;
+  LogRecord out = RoundTrip(ckpt);
+  EXPECT_EQ(out.ckpt_allocated, ckpt.ckpt_allocated);
+  EXPECT_EQ(out.ckpt_end_page, 16u);
+  EXPECT_TRUE(out.rebuild_progress.active);
+  EXPECT_EQ(out.rebuild_progress.cursor, "mid-rebuild-cursor");
+  EXPECT_EQ(out.rebuild_progress.leaves_rebuilt, 31u);
+
+  // A checkpoint with no rebuild in flight stays inactive after decode.
+  LogRecord idle;
+  idle.type = LogType::kCheckpoint;
+  idle.ckpt_end_page = 4;
+  LogRecord iout = RoundTrip(idle);
+  EXPECT_FALSE(iout.rebuild_progress.active);
+  EXPECT_FALSE(iout.rebuild_progress.has_cursor);
 }
 
 TEST(LogManagerTest, AppendChainsPrevLsn) {
